@@ -1,0 +1,167 @@
+package dlaas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core/api"
+	"repro/internal/rpc"
+)
+
+// ErrDeadline indicates WaitForState timed out.
+var ErrDeadline = errors.New("dlaas: deadline exceeded")
+
+// clientRetryWindow is how long client calls ride out total service
+// unavailability (e.g. every API replica crashed at once) before giving
+// up — comfortably longer than the Fig. 4 API recovery time, so a
+// client outlives any single-component outage without seeing an error.
+const clientRetryWindow = 15 * time.Second
+
+// clientRetryInterval paces the retries.
+const clientRetryInterval = 250 * time.Millisecond
+
+// call invokes an API method, transparently retrying while the service
+// is unavailable (load-balancer fail-over handles single-instance
+// crashes; this handles the window where no instance is up).
+func call[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
+	deadline := c.p.clk.Now().Add(clientRetryWindow)
+	for {
+		resp, err := api.Call[Req, Resp](c.p.bus, method, req)
+		if err == nil || !errors.Is(err, rpc.ErrUnavailable) || !c.p.clk.Now().Before(deadline) {
+			return resp, err
+		}
+		c.p.clk.Sleep(clientRetryInterval)
+	}
+}
+
+// Client is a tenant-scoped handle to the platform's API service. Calls
+// are load-balanced across API instances and fail over transparently
+// when an instance crashes — exactly what the paper's service-registry
+// design provides.
+type Client struct {
+	p      *Platform
+	tenant string
+}
+
+// Client returns a client acting as the given tenant ("" = admin).
+func (p *Platform) Client(tenant string) *Client {
+	return &Client{p: p, tenant: tenant}
+}
+
+// Tenant returns the client's tenant identity.
+func (c *Client) Tenant() string { return c.tenant }
+
+// Submit validates and durably records a training job, returning its ID.
+// After Submit returns, the job cannot be lost by any platform crash.
+func (c *Client) Submit(m *Manifest) (string, error) {
+	raw, err := m.Encode()
+	if err != nil {
+		return "", err
+	}
+	resp, err := call[api.SubmitRequest, api.SubmitResponse](c, api.MethodSubmit,
+		api.SubmitRequest{Tenant: c.tenant, Manifest: raw})
+	if err != nil {
+		return "", fmt.Errorf("submitting job: %w", err)
+	}
+	return resp.JobID, nil
+}
+
+// Status returns the job's current record.
+func (c *Client) Status(jobID string) (JobRecord, error) {
+	resp, err := call[api.StatusRequest, api.StatusResponse](c, api.MethodStatus,
+		api.StatusRequest{Tenant: c.tenant, JobID: jobID})
+	if err != nil {
+		return JobRecord{}, err
+	}
+	return resp.Record, nil
+}
+
+// List returns the tenant's jobs in ID order.
+func (c *Client) List() ([]JobRecord, error) {
+	resp, err := call[api.ListRequest, api.ListResponse](c, api.MethodList,
+		api.ListRequest{Tenant: c.tenant})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// Halt requests user-initiated termination.
+func (c *Client) Halt(jobID string) (JobState, error) {
+	resp, err := call[api.HaltRequest, api.HaltResponse](c, api.MethodHalt,
+		api.HaltRequest{Tenant: c.tenant, JobID: jobID})
+	if err != nil {
+		return "", err
+	}
+	return resp.State, nil
+}
+
+// Logs returns the collected training log of one learner. Logs survive
+// learner crashes and remain available after job completion (shipped to
+// the results bucket by the log-collector).
+func (c *Client) Logs(jobID string, learnerIdx int) (string, error) {
+	resp, err := call[api.LogsRequest, api.LogsResponse](c, api.MethodLogs,
+		api.LogsRequest{Tenant: c.tenant, JobID: jobID, Learner: learnerIdx})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Metrics returns a learner's training progress graph (time, images
+// processed, loss). A job that was restarted shows a rollback to its
+// last checkpoint in this series — the paper's "training progress
+// graphs differ (slightly)" observation, and the reason users are
+// notified of restarts.
+func (c *Client) Metrics(jobID string, learnerIdx int) ([]MetricPoint, error) {
+	resp, err := call[api.MetricsRequest, api.MetricsResponse](c, api.MethodMetrics,
+		api.MetricsRequest{Tenant: c.tenant, JobID: jobID, Learner: learnerIdx})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// Events returns the job's timestamped state-transition history, the
+// record users rely on for profiling and debugging.
+func (c *Client) Events(jobID string) ([]Event, error) {
+	resp, err := call[api.EventsRequest, api.EventsResponse](c, api.MethodEvents,
+		api.EventsRequest{Tenant: c.tenant, JobID: jobID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
+// ClusterInfo summarizes platform capacity and job load — why a job may
+// be queueing, how much of the fleet is healthy.
+func (c *Client) ClusterInfo() (ClusterInfo, error) {
+	return call[api.ClusterInfoRequest, api.ClusterInfoResponse](c, api.MethodClusterInfo,
+		api.ClusterInfoRequest{Tenant: c.tenant})
+}
+
+// WaitForState polls until the job reaches the wanted state (or any
+// terminal state), in cluster time. It returns the final record; if the
+// job lands in a different terminal state than wanted, an error
+// describing it is returned alongside the record.
+func (c *Client) WaitForState(jobID string, want JobState, timeout time.Duration) (JobRecord, error) {
+	clk := c.p.clk
+	deadline := clk.Now().Add(timeout)
+	var last JobRecord
+	for clk.Now().Before(deadline) {
+		rec, err := c.Status(jobID)
+		if err == nil {
+			last = rec
+			if rec.State == want {
+				return rec, nil
+			}
+			if rec.State.Terminal() {
+				return rec, fmt.Errorf("dlaas: job %s reached %s (%s), wanted %s",
+					jobID, rec.State, rec.Reason, want)
+			}
+		}
+		clk.Sleep(250 * time.Millisecond)
+	}
+	return last, fmt.Errorf("dlaas: job %s still %s after %v: %w", jobID, last.State, timeout, ErrDeadline)
+}

@@ -1,0 +1,105 @@
+// Command dlaas-chaos runs a scripted chaos campaign against a live
+// platform instance: it submits a training job and then, while the job
+// trains, repeatedly crashes a random mix of components — learners,
+// helpers, Guardians, core services, even whole nodes — verifying after
+// each injection that the platform recovers and the job still completes.
+//
+// Usage:
+//
+//	dlaas-chaos -duration 2h -injections 10 -seed 3
+//
+// Durations are cluster (virtual) time; the campaign typically finishes
+// in seconds of wall time and prints a recovery report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	dlaas "repro"
+)
+
+func main() {
+	injections := flag.Int("injections", 8, "number of fault injections")
+	gap := flag.Duration("gap", 3*time.Minute, "cluster-time gap between injections")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	if err := run(*injections, *gap, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dlaas-chaos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(injections int, gap time.Duration, seed int64) error {
+	fmt.Println("booting platform and victim job...")
+	p, err := dlaas.New(dlaas.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	client := p.Client("chaos")
+	creds := dlaas.Credentials{AccessKey: "chaos", SecretKey: "chaos-secret"}
+	data, err := p.CreateDataset("chaos-data", "train.rec", 4<<30, creds)
+	if err != nil {
+		return err
+	}
+	results, err := p.CreateResultsBucket("chaos-results", creds)
+	if err != nil {
+		return err
+	}
+	id, err := client.Submit(&dlaas.Manifest{
+		Name: "chaos-victim", Framework: "tensorflow", Model: "resnet50",
+		Learners: 2, GPUsPerLearner: 1, BatchPerGPU: 32,
+		Epochs: 2, DatasetImages: 60000,
+		TrainingData: data, Results: results,
+		CheckpointInterval: 2 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := client.WaitForState(id, dlaas.StateProcessing, 2*time.Hour); err != nil {
+		return err
+	}
+	fmt.Printf("victim job %s is training; beginning %d injections\n\n", id, injections)
+
+	rng := rand.New(rand.NewSource(seed))
+	targets := []struct {
+		name     string
+		selector map[string]string
+	}{
+		{"API", map[string]string{"app": "dlaas-api"}},
+		{"LCM", map[string]string{"app": "dlaas-lcm"}},
+		{"Guardian", map[string]string{"app": "dlaas-guardian", "job": id}},
+		{"Helper", map[string]string{"app": "dlaas-helper", "job": id}},
+		{"Learner", map[string]string{"app": "dlaas-learner", "job": id}},
+	}
+	clk := p.Clock()
+	inj := p.Chaos()
+	failures := 0
+	for k := 0; k < injections; k++ {
+		target := targets[rng.Intn(len(targets))]
+		rec, err := inj.MeasurePodRecovery(target.selector, 5*time.Minute)
+		if err != nil {
+			fmt.Printf("%2d. %-9s INJECTION FAILED: %v\n", k+1, target.name, err)
+			failures++
+		} else {
+			fmt.Printf("%2d. %-9s killed -> recovered in %5.1fs (cluster time)\n",
+				k+1, target.name, rec.Seconds())
+		}
+		clk.Sleep(gap)
+	}
+
+	fmt.Println("\nwaiting for the victim job to complete despite the abuse...")
+	rec, err := client.WaitForState(id, dlaas.StateCompleted, 24*time.Hour)
+	if err != nil {
+		return fmt.Errorf("victim job did not survive: %w (state %s)", err, rec.State)
+	}
+	fmt.Printf("victim job completed (deploy attempts: %d). %d/%d injections recovered.\n",
+		rec.DeployAttempts, injections-failures, injections)
+	return nil
+}

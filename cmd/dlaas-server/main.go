@@ -1,0 +1,56 @@
+// Command dlaas-server boots an in-process DLaaS platform and serves its
+// REST API over HTTP, so the platform can be driven with curl:
+//
+//	dlaas-server -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/models -H 'X-Tenant: me' -d @manifest.json
+//	curl -s localhost:8080/v1/models -H 'X-Tenant: me'
+//	curl -s localhost:8080/v1/models/job-000001/logs -H 'X-Tenant: me'
+//
+// A demo tenant ("demo", secret "demo-secret") with a staged dataset
+// bucket "demo-data" (key "train.rec") and results bucket "demo-results"
+// is created at startup so a first manifest can be submitted immediately.
+// The cluster runs on the virtual clock: submitted jobs train at
+// simulation speed, typically completing in wall-clock seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	dlaas "repro"
+
+	"repro/internal/rest"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodes := flag.Int("nodes", 4, "GPU worker nodes")
+	gpus := flag.Int("gpus", 4, "GPUs per node")
+	flag.Parse()
+
+	p, err := dlaas.New(dlaas.Options{Nodes: *nodes, GPUsPerNode: *gpus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	creds := dlaas.Credentials{AccessKey: "demo", SecretKey: "demo-secret"}
+	if _, err := p.CreateDataset("demo-data", "train.rec", 8<<30, creds); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.CreateResultsBucket("demo-results", creds); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DLaaS REST API listening on %s\n", *addr)
+	fmt.Println(`demo tenant ready; example submission:
+  curl -X POST localhost:8080/v1/models -H 'X-Tenant: demo' -d '{
+    "name":"demo-job","framework":"tensorflow","model":"resnet50",
+    "learners":1,"gpus_per_learner":1,"batch_per_gpu":32,"epochs":1,
+    "dataset_images":10000,
+    "training_data":{"bucket":"demo-data","key":"train.rec","access_key":"demo","secret_key":"demo-secret"},
+    "results":{"bucket":"demo-results","access_key":"demo","secret_key":"demo-secret"}}'`)
+	log.Fatal(http.ListenAndServe(*addr, rest.Handler(p)))
+}

@@ -1,0 +1,151 @@
+// Command dlaasctl is an interactive demonstration CLI: it boots an
+// in-process DLaaS platform, runs the scripted scenario you pick, and
+// prints what the platform does — submission, status transitions, logs,
+// halting — the operations the paper's API exposes to users.
+//
+// Usage:
+//
+//	dlaasctl -scenario train          # submit and follow one job
+//	dlaasctl -scenario halt           # submit, then halt mid-training
+//	dlaasctl -scenario crash          # crash the learner mid-training
+//	dlaasctl -learners 2 -model vgg16 -framework caffe
+//
+// Everything runs on the virtual clock: hours of training complete in
+// seconds of wall time, and all printed timestamps are cluster time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dlaas "repro"
+)
+
+func main() {
+	scenario := flag.String("scenario", "train", "train | halt | crash")
+	model := flag.String("model", "resnet50", "model: vgg16 | resnet50 | inceptionv3 | alexnet | googlenet")
+	framework := flag.String("framework", "tensorflow", "framework: caffe | tensorflow | pytorch | torch | horovod")
+	learners := flag.Int("learners", 1, "number of learners")
+	epochs := flag.Int("epochs", 1, "training epochs")
+	images := flag.Int64("images", 8000, "dataset size in images")
+	flag.Parse()
+
+	if err := run(*scenario, *model, *framework, *learners, *epochs, *images); err != nil {
+		fmt.Fprintf(os.Stderr, "dlaasctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, model, framework string, learners, epochs int, images int64) error {
+	fmt.Println("booting DLaaS platform (4 GPU nodes, 3-way etcd, 2 API replicas)...")
+	p, err := dlaas.New(dlaas.Options{})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	client := p.Client("demo-tenant")
+	creds := dlaas.Credentials{AccessKey: "demo-tenant", SecretKey: "demo-secret"}
+	data, err := p.CreateDataset("demo-data", "train/dataset.rec", 8<<30, creds)
+	if err != nil {
+		return err
+	}
+	results, err := p.CreateResultsBucket("demo-results", creds)
+	if err != nil {
+		return err
+	}
+
+	m := &dlaas.Manifest{
+		Name:               "demo-job",
+		Framework:          framework,
+		Model:              model,
+		Learners:           learners,
+		GPUsPerLearner:     1,
+		BatchPerGPU:        32,
+		Epochs:             epochs,
+		DatasetImages:      images,
+		TrainingData:       data,
+		Results:            results,
+		CheckpointInterval: 2 * time.Minute,
+	}
+	id, err := client.Submit(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s: %s/%s, %d learner(s), %d epoch(s) over %d images\n",
+		id, model, framework, learners, epochs, images)
+
+	switch scenario {
+	case "train":
+	case "halt":
+		if _, err := client.WaitForState(id, dlaas.StateProcessing, time.Hour); err != nil {
+			return err
+		}
+		fmt.Println("job is training; issuing user halt...")
+		if _, err := client.Halt(id); err != nil {
+			return err
+		}
+	case "crash":
+		if _, err := client.WaitForState(id, dlaas.StateProcessing, time.Hour); err != nil {
+			return err
+		}
+		pods := p.Cluster().Pods(map[string]string{"app": "dlaas-learner", "job": id})
+		if len(pods) == 0 {
+			return fmt.Errorf("no learner pod to crash")
+		}
+		fmt.Printf("crashing learner pod %s (kubectl delete pod)...\n", pods[0].Name())
+		if err := p.Chaos().KillPod(pods[0].Name()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+
+	rec := followJob(p, client, id)
+	fmt.Printf("\nfinal state: %s", rec.State)
+	if rec.Reason != "" {
+		fmt.Printf(" (%s)", rec.Reason)
+	}
+	fmt.Println()
+
+	events, err := client.Events(id)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nstate history (cluster time):")
+	for _, ev := range events {
+		fmt.Printf("  %s  %-11s %s\n", ev.Time.Format("15:04:05"), ev.State, ev.Note)
+	}
+
+	logText, err := client.Logs(id, 0)
+	if err == nil && logText != "" {
+		fmt.Println("\nlearner-0 training log:")
+		fmt.Print(logText)
+	}
+	return nil
+}
+
+// followJob polls the job to a terminal state, printing transitions.
+func followJob(p *dlaas.Platform, client *dlaas.Client, id string) dlaas.JobRecord {
+	clk := p.Clock()
+	last := dlaas.JobState("")
+	var rec dlaas.JobRecord
+	deadline := clk.Now().Add(24 * time.Hour)
+	for clk.Now().Before(deadline) {
+		r, err := client.Status(id)
+		if err == nil {
+			rec = r
+			if rec.State != last {
+				fmt.Printf("  [%s] %s\n", clk.Now().Format("15:04:05"), rec.State)
+				last = rec.State
+			}
+			if rec.State.Terminal() {
+				return rec
+			}
+		}
+		clk.Sleep(2 * time.Second)
+	}
+	return rec
+}

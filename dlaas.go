@@ -1,0 +1,84 @@
+// Package dlaas is a full reproduction of IBM's Deep Learning as a
+// Service platform as described in "Dependability in a Multi-tenant
+// Multi-framework Deep Learning as-a-Service Platform" (Boag et al.,
+// DSN 2018). It orchestrates multi-framework GPU training jobs for many
+// tenants on a simulated Kubernetes cluster with etcd, MongoDB, a cloud
+// object store and shared NFS volumes — all implemented in this module —
+// and provides the dependability guarantees the paper describes: durable
+// submissions, atomic job deployment with Guardian rollback/retry,
+// reliable etcd-mediated status updates, crash recovery for every
+// component, checkpoint-based learner resume, reliable log streaming,
+// and network-policy tenant isolation.
+//
+// The entry point is Platform:
+//
+//	p, err := dlaas.New()
+//	defer p.Close()
+//	client := p.Client("team-vision")
+//	id, err := client.Submit(m)
+//	rec, err := client.WaitForState(id, dlaas.StateCompleted, time.Hour)
+//
+// By default everything runs on a discrete-event virtual clock, so
+// multi-hour training jobs and multi-second crash recoveries complete in
+// milliseconds of real time while every reported duration stays in
+// cluster time.
+package dlaas
+
+import (
+	"repro/internal/core/api"
+	"repro/internal/core/manifest"
+	"repro/internal/core/types"
+	"repro/internal/objectstore"
+	"repro/internal/trainsim"
+)
+
+// Re-exported manifest types: the job specification users submit.
+type (
+	// Manifest is a training-job specification.
+	Manifest = manifest.Manifest
+	// DataRef locates training data or results in the object store.
+	DataRef = manifest.DataRef
+)
+
+// Re-exported job lifecycle types.
+type (
+	// JobState is the user-visible job lifecycle state.
+	JobState = types.JobState
+	// JobRecord is a job's metadata record.
+	JobRecord = types.JobRecord
+	// Event is a timestamped job state transition.
+	Event = types.Event
+	// LearnerStatus is a per-learner execution status.
+	LearnerStatus = types.LearnerStatus
+	// StatusUpdate is one timestamped learner status record.
+	StatusUpdate = types.StatusUpdate
+)
+
+// Re-exported object-store credentials for dataset staging.
+type Credentials = objectstore.Credentials
+
+// MetricPoint is one sample of a training progress graph.
+type MetricPoint = trainsim.MetricPoint
+
+// ClusterInfo summarizes platform capacity and job load.
+type ClusterInfo = api.ClusterInfoResponse
+
+// Job lifecycle states.
+const (
+	StateQueued     = types.StateQueued
+	StateDeploying  = types.StateDeploying
+	StateProcessing = types.StateProcessing
+	StateStoring    = types.StateStoring
+	StateCompleted  = types.StateCompleted
+	StateFailed     = types.StateFailed
+	StateHalted     = types.StateHalted
+)
+
+// Learner statuses.
+const (
+	LearnerStarting    = types.LearnerStarting
+	LearnerDownloading = types.LearnerDownloading
+	LearnerTraining    = types.LearnerTraining
+	LearnerCompleted   = types.LearnerCompleted
+	LearnerFailed      = types.LearnerFailed
+)

@@ -1,0 +1,78 @@
+// Distributed training: a Horovod-style job with four learners, each
+// holding one GPU, synchronizing gradients by ring all-reduce over the
+// datacenter network. The example shows what the paper's StatefulSet
+// design buys: stable learner identities, per-learner status and logs,
+// and all-reduce scaling costs that depend on the model's gradient size.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dlaas "repro"
+)
+
+func main() {
+	p, err := dlaas.New(dlaas.Options{Nodes: 4, GPUsPerNode: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	creds := dlaas.Credentials{AccessKey: "research", SecretKey: "r-secret"}
+	data, err := p.CreateDataset("imagenet", "train/imagenet-1k.rec", 140<<30, creds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := p.CreateResultsBucket("research-results", creds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := p.Client("research")
+
+	// Compare the same distributed job across two models to see the
+	// communication cost difference (VGG-16 ships 5x the gradients of
+	// InceptionV3 per step).
+	for _, model := range []string{"inceptionv3", "vgg16"} {
+		id, err := client.Submit(&dlaas.Manifest{
+			Name:               "dist-" + model,
+			Framework:          "horovod",
+			Model:              model,
+			Learners:           4,
+			GPUsPerLearner:     1,
+			BatchPerGPU:        32,
+			Epochs:             1,
+			DatasetImages:      40000,
+			TrainingData:       data,
+			Results:            results,
+			CheckpointInterval: 5 * time.Minute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := p.Clock().Now()
+		rec, err := client.WaitForState(id, dlaas.StateCompleted, 24*time.Hour)
+		if err != nil {
+			log.Fatalf("%s: job ended %s: %v", model, rec.State, err)
+		}
+		elapsed := p.Clock().Since(start)
+		fmt.Printf("%-12s 4 learners x 1 GPU: completed in %v cluster time\n", model, elapsed.Round(time.Second))
+
+		// Every learner kept its own log under its stable identity.
+		for l := 0; l < 4; l++ {
+			text, err := client.Logs(id, l)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  learner-%d log: %d bytes\n", l, len(text))
+		}
+	}
+
+	fmt.Println("\nNote how VGG-16 takes disproportionately longer than its extra")
+	fmt.Println("FLOPs imply: its 552MB gradient all-reduce rides the same 1GbE")
+	fmt.Println("fabric every step — the effect behind the paper's Fig. 3.")
+}

@@ -1,0 +1,92 @@
+// Multi-tenancy: three tenants share one GPU cluster. The example shows
+// the isolation mechanisms the paper requires for running arbitrary
+// customer code side by side — credentialed object-store buckets,
+// tenant-scoped API access, and network policies that wall each job's
+// learners off from other tenants and from platform services — plus
+// GPU-capacity queueing when tenants oversubscribe the cluster.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	dlaas "repro"
+)
+
+func main() {
+	// A deliberately small cluster: 2 nodes x 2 GPUs. Three 2-GPU jobs
+	// cannot all run at once, so one queues until capacity frees.
+	p, err := dlaas.New(dlaas.Options{Nodes: 2, GPUsPerNode: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	tenants := []string{"team-vision", "team-speech", "team-nlp"}
+	jobs := map[string]string{}
+	for _, tenant := range tenants {
+		creds := dlaas.Credentials{AccessKey: tenant, SecretKey: tenant + "-secret"}
+		data, err := p.CreateDataset("data-"+tenant, "train.rec", 1<<30, creds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := p.CreateResultsBucket("results-"+tenant, creds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := p.Client(tenant).Submit(&dlaas.Manifest{
+			Name:           tenant + "-train",
+			Framework:      "tensorflow",
+			Model:          "resnet50",
+			Learners:       2,
+			GPUsPerLearner: 1,
+			BatchPerGPU:    32,
+			Epochs:         1,
+			DatasetImages:  6000,
+			TrainingData:   data,
+			Results:        results,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs[tenant] = id
+		fmt.Printf("%-12s submitted %s (2 GPUs)\n", tenant, id)
+	}
+
+	// Demonstrate isolation while the jobs contend for GPUs.
+	intruder := p.Client("team-vision")
+	if _, err := intruder.Status(jobs["team-speech"]); err != nil {
+		fmt.Printf("\ncross-tenant status read rejected: %v\n", err)
+	}
+	evil := dlaas.Credentials{AccessKey: "team-vision", SecretKey: "team-vision-secret"}
+	if _, err := p.ObjectStore().List("data-team-speech", evil); err != nil {
+		fmt.Printf("cross-tenant bucket access rejected: %v\n", err)
+	}
+
+	// All three jobs complete — the third waits for GPUs, it is not
+	// rejected (the scheduler queues it).
+	fmt.Println("\nwaiting for all tenants' jobs (the cluster fits only two at a time)...")
+	for _, tenant := range tenants {
+		start := p.Clock().Now()
+		rec, err := p.Client(tenant).WaitForState(jobs[tenant], dlaas.StateCompleted, 24*time.Hour)
+		if err != nil {
+			log.Fatalf("%s: job ended %s: %v", tenant, rec.State, err)
+		}
+		fmt.Printf("%-12s %s completed (waited+ran %v cluster time)\n",
+			tenant, jobs[tenant], p.Clock().Since(start).Round(time.Second))
+	}
+
+	// Network-policy check on a fresh pair of running jobs is covered in
+	// the test suite; here we show the per-tenant job listing view.
+	fmt.Println("\nper-tenant views:")
+	for _, tenant := range tenants {
+		recs, err := p.Client(tenant).List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s sees %d job(s)\n", tenant, len(recs))
+	}
+}

@@ -1,0 +1,146 @@
+// Package chaos is the failure-injection and recovery-measurement
+// harness behind the paper's Fig. 4 ("These times were calculated by
+// manually crashing various components (using the kubectl tool of K8S)
+// and measuring time taken for the component to restart"). It kills
+// pods, containers and nodes, and measures — in virtual time — how long
+// the platform takes to restore the component.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/kube"
+)
+
+// Common errors.
+var (
+	// ErrNoTarget indicates no pod matched the selector.
+	ErrNoTarget = errors.New("chaos: no matching target")
+	// ErrNoRecovery indicates the component did not recover in time.
+	ErrNoRecovery = errors.New("chaos: no recovery before deadline")
+)
+
+// pollGrain is the recovery-detection polling interval (virtual time);
+// it bounds measurement quantization error.
+const pollGrain = 20 * time.Millisecond
+
+// Injector performs fault injection against one cluster.
+type Injector struct {
+	cluster *kube.Cluster
+	clk     clock.Clock
+}
+
+// New creates an injector for the cluster.
+func New(cluster *kube.Cluster) *Injector {
+	return &Injector{cluster: cluster, clk: cluster.Clock()}
+}
+
+// KillPod crash-kills the named pod (kubectl delete pod --force).
+func (i *Injector) KillPod(name string) error {
+	return i.cluster.DeletePod(name)
+}
+
+// CrashNode fails an entire node.
+func (i *Injector) CrashNode(name string) error {
+	return i.cluster.CrashNode(name)
+}
+
+// RestartNode heals a crashed node.
+func (i *Injector) RestartNode(name string) error {
+	return i.cluster.RestartNode(name)
+}
+
+// runningPod returns the first Running pod matching selector.
+func (i *Injector) runningPod(selector map[string]string) *kube.Pod {
+	for _, p := range i.cluster.Pods(selector) {
+		if p.Phase() == kube.PodRunning {
+			return p
+		}
+	}
+	return nil
+}
+
+// MeasurePodRecovery kills one Running pod matching selector and
+// measures the virtual time until a replacement — a pod that did not
+// exist before the kill — is Running. This is the paper's component-
+// recovery experiment: the pod's controller (Deployment, StatefulSet or
+// Job) provides the recovery. Pre-existing replicas (e.g. the second API
+// instance) keep serving but do not count as recovery of the killed one.
+func (i *Injector) MeasurePodRecovery(selector map[string]string, timeout time.Duration) (time.Duration, error) {
+	victim := i.runningPod(selector)
+	if victim == nil {
+		return 0, fmt.Errorf("selecting %v: %w", selector, ErrNoTarget)
+	}
+	before := make(map[*kube.Pod]bool)
+	for _, p := range i.cluster.Pods(selector) {
+		before[p] = true
+	}
+	start := i.clk.Now()
+	if err := i.cluster.DeletePod(victim.Name()); err != nil {
+		return 0, fmt.Errorf("killing %s: %w", victim.Name(), err)
+	}
+	deadline := start.Add(timeout)
+	for i.clk.Now().Before(deadline) {
+		for _, p := range i.cluster.Pods(selector) {
+			if !before[p] && p.Phase() == kube.PodRunning {
+				return i.clk.Since(start), nil
+			}
+		}
+		i.clk.Sleep(pollGrain)
+	}
+	return 0, fmt.Errorf("selector %v after %v: %w", selector, timeout, ErrNoRecovery)
+}
+
+// MeasureContainerRecovery crashes a container process in place and
+// measures the virtual time until the kubelet has it running again.
+func (i *Injector) MeasureContainerRecovery(podName, container string, timeout time.Duration) (time.Duration, error) {
+	pod := i.cluster.Pod(podName)
+	if pod == nil {
+		return 0, fmt.Errorf("pod %s: %w", podName, ErrNoTarget)
+	}
+	restartsBefore := pod.Restarts()
+	start := i.clk.Now()
+	if err := i.cluster.CrashContainer(podName, container); err != nil {
+		return 0, fmt.Errorf("crashing %s/%s: %w", podName, container, err)
+	}
+	deadline := start.Add(timeout)
+	for i.clk.Now().Before(deadline) {
+		if _, _, running := pod.ExitInfo(container); running && pod.Restarts() > restartsBefore {
+			return i.clk.Since(start), nil
+		}
+		i.clk.Sleep(pollGrain)
+	}
+	return 0, fmt.Errorf("container %s/%s after %v: %w", podName, container, timeout, ErrNoRecovery)
+}
+
+// Sample repeats a measurement n times with the given settle pause
+// between runs and returns the observed durations.
+func (i *Injector) Sample(n int, settle time.Duration, measure func() (time.Duration, error)) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, n)
+	for k := 0; k < n; k++ {
+		d, err := measure()
+		if err != nil {
+			return out, fmt.Errorf("sample %d: %w", k, err)
+		}
+		out = append(out, d)
+		i.clk.Sleep(settle)
+	}
+	return out, nil
+}
+
+// MinMax summarizes a sample as its range, the format of the paper's
+// Fig. 4 ("3-5s").
+func MinMax(ds []time.Duration) (lo, hi time.Duration) {
+	for _, d := range ds {
+		if lo == 0 || d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,467 @@
+// Package guardian implements the per-job Guardian: a DLaaS component
+// created on the fly as a Kubernetes Job for every DL training job. The
+// Guardian executes the multi-step deployment (shared volume, helper
+// pod, learner StatefulSet, network policy), journaling progress in etcd.
+// If it crashes mid-deployment, Kubernetes restarts it; the restarted
+// Guardian rolls back the partial deployment and starts fresh, retrying
+// up to a configurable limit before marking the job FAILED in MongoDB —
+// the paper's atomic-deployment guarantee. Once deployed, the Guardian
+// monitors learner statuses (via etcd), aggregates them into the job
+// state in MongoDB, and tears everything down at completion.
+package guardian
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/helper"
+	"repro/internal/core/learner"
+	"repro/internal/core/manifest"
+	"repro/internal/core/types"
+	"repro/internal/gpu"
+	"repro/internal/kube"
+	"repro/internal/nfs"
+	"repro/internal/objectstore"
+)
+
+// DefaultMaxDeployAttempts is how many times deployment is retried
+// before the job is marked FAILED ("this process will be repeated for a
+// (configurable) number of times before the Guardian gives up").
+const DefaultMaxDeployAttempts = 3
+
+// monitorPoll is the Guardian's status-aggregation cadence.
+const monitorPoll = 500 * time.Millisecond
+
+// Params configures one job's Guardian.
+type Params struct {
+	Deps     *core.Deps
+	JobID    string
+	Manifest *manifest.Manifest
+	// MaxDeployAttempts overrides DefaultMaxDeployAttempts when > 0.
+	MaxDeployAttempts int
+	// StepDelay is the modeled work per provisioning step (credential
+	// setup, API round trips). It also widens the window in which
+	// crash-injection tests can catch the Guardian mid-deployment.
+	StepDelay time.Duration
+}
+
+// Resource naming conventions (name-addressed so a restarted Guardian
+// can find its predecessor's leftovers with no in-memory state).
+
+// VolumeName is the job's shared NFS volume.
+func VolumeName(jobID string) string { return "vol-" + jobID }
+
+// HelperName is the job's helper Deployment.
+func HelperName(jobID string) string { return "helper-" + jobID }
+
+// LearnerSetName is the job's learner StatefulSet.
+func LearnerSetName(jobID string) string { return "learner-" + jobID }
+
+// PolicyName is the job's learner-isolation NetworkPolicy.
+func PolicyName(jobID string) string { return "netpol-" + jobID }
+
+// KubeJobName is the Kubernetes Job that hosts the Guardian itself.
+func KubeJobName(jobID string) string { return "guardian-" + jobID }
+
+// journal is the Guardian's etcd-persisted deployment record.
+type journal struct {
+	// Deployed is set once every resource exists; a restarted Guardian
+	// seeing Deployed resumes monitoring instead of rolling back.
+	Deployed bool `json:"deployed"`
+	// Steps records which resources have been created (informational;
+	// rollback is defensive and deletes by name regardless).
+	Steps []string `json:"steps"`
+}
+
+// ContainerSpec builds the Guardian container. Guardians are small Go
+// processes with fast, cached images — the quickest component to recover
+// in Fig. 4 (1-2s).
+func ContainerSpec(p Params) kube.ContainerSpec {
+	return kube.ContainerSpec{
+		Name:       "guardian",
+		Image:      "dlaas/guardian",
+		StartDelay: 500 * time.Millisecond,
+		Run:        func(ctx *kube.ContainerCtx) int { return Run(ctx, p) },
+	}
+}
+
+// Run executes the Guardian process. Exit code 0 means the Guardian's
+// work is finished (job reached a terminal state — including FAILED);
+// any other exit causes the hosting Kubernetes Job to run a fresh
+// Guardian attempt.
+func Run(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	maxAttempts := p.MaxDeployAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxDeployAttempts
+	}
+
+	rec, err := d.GetJob(p.JobID)
+	if err != nil {
+		// Without the metadata record nothing can proceed; retry via
+		// the kube Job in case MongoDB was momentarily down.
+		return 1
+	}
+	if rec.State.Terminal() {
+		return 0
+	}
+
+	j := loadJournal(d, p.JobID)
+	if j == nil || !j.Deployed {
+		// Fresh deploy or crashed mid-deploy: roll back leftovers and
+		// provision from scratch ("The restarted Guardian will roll
+		// back the previous partially deployed DL job and starts a
+		// fresh deployment process").
+		if j != nil {
+			rollback(d, p.JobID)
+		}
+		attempts, err := d.IncrementDeployAttempts(p.JobID)
+		if err != nil {
+			return 1
+		}
+		if attempts > maxAttempts {
+			failJob(d, p.JobID, fmt.Sprintf("deployment failed after %d attempts", attempts-1))
+			cleanupEtcd(d, p.JobID)
+			return 0
+		}
+		if _, err := d.TransitionJob(p.JobID, types.StateDeploying, fmt.Sprintf("attempt %d", attempts)); err != nil {
+			return 1
+		}
+		code, ok := deploy(ctx, p)
+		if !ok {
+			return code
+		}
+	}
+
+	return monitor(ctx, p)
+}
+
+// deploy provisions every job resource, journaling between steps. It
+// returns ok=false with the exit code when interrupted.
+func deploy(ctx *kube.ContainerCtx, p Params) (int, bool) {
+	d := p.Deps
+	j := &journal{}
+	// Journal existence marks "deployment in progress" — it must be
+	// durable before the first resource is created, or a crash in the
+	// gap would leave an orphan that the next attempt doesn't roll back.
+	saveJournal(d, p.JobID, j)
+	step := func(name string) bool {
+		j.Steps = append(j.Steps, name)
+		saveJournal(d, p.JobID, j)
+		return ctx.Sleep(p.StepDelay)
+	}
+
+	// Step 1: shared NFS volume via a persistent volume claim.
+	if _, err := d.NFS.Provision(VolumeName(p.JobID)); err != nil {
+		if !errors.Is(err, nfs.ErrVolumeExists) {
+			return 1, false
+		}
+		// Leftover from a partial deploy whose journal write never
+		// landed: recreate it empty.
+		d.NFS.Release(VolumeName(p.JobID))
+		if _, err := d.NFS.Provision(VolumeName(p.JobID)); err != nil {
+			return 1, false
+		}
+	}
+	if !step("volume") {
+		return 137, false
+	}
+
+	// Step 2: helper pod (load-data, controller, log-collector,
+	// store-results) as a Deployment.
+	helperSpec := helper.PodSpec(helper.Params{
+		Deps:       d,
+		JobID:      p.JobID,
+		Manifest:   p.Manifest,
+		VolumeName: VolumeName(p.JobID),
+	})
+	if _, err := d.Kube.CreateDeployment(HelperName(p.JobID), 1, helperSpec); err != nil {
+		return 1, false
+	}
+	if !step("helper") {
+		return 137, false
+	}
+
+	// Step 3: learner StatefulSet with stable identities. Before
+	// creating it, wait for aggregate GPU capacity so the gang can be
+	// placed together — the paper's atomic provisioning ("either the
+	// whole job is provisioned with the requisite resources or none")
+	// rather than a partial placement that would stall at the first
+	// gradient synchronization.
+	for d.Kube.FreeGPUs(p.Manifest.GPUType) < p.Manifest.TotalGPUs() {
+		if halted, _ := jobHalted(d, p.JobID); halted {
+			return 0, false
+		}
+		if !ctx.Sleep(2 * time.Second) {
+			return 137, false
+		}
+	}
+	g := resolveGPU(d, p.Manifest)
+	learnerPod := kube.PodSpec{
+		Labels: map[string]string{
+			"app":    "dlaas-learner",
+			"job":    p.JobID,
+			"tenant": p.Manifest.TrainingData.AccessKey,
+		},
+		Tenant:           p.Manifest.TrainingData.AccessKey,
+		RestartPolicy:    kube.RestartAlways,
+		GPUs:             p.Manifest.GPUsPerLearner,
+		GPUType:          p.Manifest.GPUType,
+		Volumes:          []string{VolumeName(p.JobID)},
+		BindsObjectStore: true,
+	}
+	// Each ordinal needs its own Params; the container reads its
+	// ordinal from the pod name via the set's stable identity. We use
+	// one spec whose Run derives the ordinal lazily.
+	learnerPod.Containers = []kube.ContainerSpec{learnerContainerForSet(p, g)}
+	if _, err := d.Kube.CreateStatefulSet(LearnerSetName(p.JobID), p.Manifest.Learners, learnerPod); err != nil {
+		return 1, false
+	}
+	if !step("learners") {
+		return 137, false
+	}
+
+	// Step 4: network policy — learners accept traffic only from pods
+	// of the same job (helper, fellow learners), isolating tenants from
+	// each other and from platform services.
+	d.Kube.ApplyNetworkPolicy(kube.NetworkPolicy{
+		Name:      PolicyName(p.JobID),
+		AppliesTo: map[string]string{"app": "dlaas-learner", "job": p.JobID},
+		AllowFrom: []map[string]string{{"job": p.JobID}},
+	})
+	if !step("netpol") {
+		return 137, false
+	}
+
+	j.Deployed = true
+	saveJournal(d, p.JobID, j)
+	return 0, true
+}
+
+// learnerContainerForSet wraps learner.ContainerSpec so each StatefulSet
+// ordinal computes its own identity from the pod name ("<set>-<ordinal>").
+func learnerContainerForSet(p Params, g gpu.Spec) kube.ContainerSpec {
+	base := learner.ContainerSpec(learner.Params{
+		Deps:       p.Deps,
+		JobID:      p.JobID,
+		Ordinal:    0,
+		Manifest:   p.Manifest,
+		VolumeName: VolumeName(p.JobID),
+		GPU:        g,
+	})
+	run := func(ctx *kube.ContainerCtx) int {
+		ordinal := ordinalFromPodName(ctx.PodName())
+		return learner.ContainerSpec(learner.Params{
+			Deps:       p.Deps,
+			JobID:      p.JobID,
+			Ordinal:    ordinal,
+			Manifest:   p.Manifest,
+			VolumeName: VolumeName(p.JobID),
+			GPU:        g,
+		}).Run(ctx)
+	}
+	base.Run = run
+	return base
+}
+
+// ordinalFromPodName parses the trailing "-<n>" of a StatefulSet pod name.
+func ordinalFromPodName(name string) int {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			n := 0
+			for _, c := range name[i+1:] {
+				if c < '0' || c > '9' {
+					return 0
+				}
+				n = n*10 + int(c-'0')
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+// jobHalted reports whether the user terminated the job.
+func jobHalted(d *core.Deps, jobID string) (bool, error) {
+	rec, err := d.GetJob(jobID)
+	if err != nil {
+		return false, err
+	}
+	return rec.State == types.StateHalted, nil
+}
+
+// resolveGPU picks the job's GPU spec.
+func resolveGPU(d *core.Deps, m *manifest.Manifest) gpu.Spec {
+	if m.GPUType != "" {
+		if g, ok := gpu.ByName(m.GPUType); ok {
+			return g
+		}
+	}
+	return d.DefaultGPU
+}
+
+// monitor aggregates learner statuses from etcd into the job state in
+// MongoDB until the job reaches a terminal state, then tears down.
+func monitor(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	for {
+		select {
+		case <-ctx.Killed():
+			return 137
+		default:
+		}
+
+		rec, err := d.GetJob(p.JobID)
+		if err == nil && rec.State == types.StateHalted {
+			shipLogs(d, p.JobID, p.Manifest)
+			teardown(d, p.JobID)
+			cleanupEtcd(d, p.JobID)
+			return 0
+		}
+
+		statuses, err := readStatuses(d, p.JobID)
+		if err == nil {
+			training, completed, failed := 0, 0, 0
+			var failDetail string
+			for _, s := range statuses {
+				switch s.Status {
+				case types.LearnerTraining:
+					training++
+				case types.LearnerCompleted:
+					completed++
+				case types.LearnerFailed:
+					failed++
+					failDetail = fmt.Sprintf("learner %d failed (%s)", s.Learner, s.Detail)
+				}
+			}
+			switch {
+			case failed > 0:
+				failJob(d, p.JobID, failDetail)
+				shipLogs(d, p.JobID, p.Manifest)
+				teardown(d, p.JobID)
+				cleanupEtcd(d, p.JobID)
+				return 0
+			case completed == p.Manifest.Learners && p.Manifest.Learners > 0:
+				// All learners done: move to STORING, wait for the
+				// helper's store-results marker, then COMPLETED.
+				_, _ = d.TransitionJob(p.JobID, types.StateStoring, "all learners completed")
+				if resultsStored(d, p.JobID) {
+					_, _ = d.TransitionJob(p.JobID, types.StateCompleted, "results stored")
+					teardown(d, p.JobID)
+					cleanupEtcd(d, p.JobID)
+					return 0
+				}
+			case training > 0:
+				_, _ = d.TransitionJob(p.JobID, types.StateProcessing, "learners training")
+			}
+		}
+
+		if !ctx.Sleep(monitorPoll) {
+			return 137
+		}
+	}
+}
+
+// readStatuses loads the latest per-learner status updates from etcd.
+func readStatuses(d *core.Deps, jobID string) ([]types.StatusUpdate, error) {
+	kvs, err := d.Etcd.Range(types.LearnerStatusPrefix(jobID))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.StatusUpdate, 0, len(kvs))
+	for _, kv := range kvs {
+		var s types.StatusUpdate
+		if err := json.Unmarshal([]byte(kv.Value), &s); err == nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// resultsStored checks the helper's stored marker on the shared volume.
+func resultsStored(d *core.Deps, jobID string) bool {
+	vol, err := d.NFS.Volume(VolumeName(jobID))
+	if err != nil {
+		return false
+	}
+	raw, err := vol.Read(helper.ResultsStoredMarker)
+	return err == nil && string(raw) == "ok"
+}
+
+// shipLogs persists every learner's logs and metrics from the shared
+// volume to the results bucket before teardown destroys the volume. The
+// store-results helper does this on the success path; the Guardian does
+// it for failures and halts, honoring "reliable streaming of logs from
+// the job, irrespective of the stage it is in, even if it crashes/fails".
+func shipLogs(d *core.Deps, jobID string, m *manifest.Manifest) {
+	vol, err := d.NFS.Volume(VolumeName(jobID))
+	if err != nil {
+		return
+	}
+	creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
+	for l := 0; l < m.Learners; l++ {
+		if raw, err := vol.Read(learner.LogPath(l)); err == nil {
+			key := fmt.Sprintf("logs/%s/learner-%d.log", jobID, l)
+			_ = d.ObjectStore.Put(m.Results.Bucket, key, raw, creds)
+		}
+		if raw, err := vol.Read(learner.MetricsPath(l)); err == nil {
+			key := fmt.Sprintf("metrics/%s/learner-%d.jsonl", jobID, l)
+			_ = d.ObjectStore.Put(m.Results.Bucket, key, raw, creds)
+		}
+	}
+}
+
+// rollback deletes whatever a crashed predecessor may have created. All
+// deletions are name-addressed and idempotent.
+func rollback(d *core.Deps, jobID string) {
+	d.Kube.RemoveNetworkPolicy(PolicyName(jobID))
+	d.Kube.DeleteStatefulSet(LearnerSetName(jobID))
+	d.Kube.DeleteDeployment(HelperName(jobID))
+	d.NFS.Release(VolumeName(jobID))
+}
+
+// teardown releases a fully deployed job's resources after it reaches a
+// terminal state. The NFS volume is kept briefly for log draining and
+// released with the rest (logs were already shipped to the object store
+// by the log-collector).
+func teardown(d *core.Deps, jobID string) {
+	rollback(d, jobID)
+}
+
+// cleanupEtcd removes the job's coordination keys.
+func cleanupEtcd(d *core.Deps, jobID string) {
+	kvs, err := d.Etcd.Range(types.JobPrefix(jobID))
+	if err != nil {
+		return
+	}
+	for _, kv := range kvs {
+		_ = d.Etcd.Delete(kv.Key)
+	}
+}
+
+func failJob(d *core.Deps, jobID, reason string) {
+	_, _ = d.TransitionJob(jobID, types.StateFailed, reason)
+}
+
+func loadJournal(d *core.Deps, jobID string) *journal {
+	raw, found, err := d.Etcd.Get(types.GuardianJournalKey(jobID))
+	if err != nil || !found {
+		return nil
+	}
+	var j journal
+	if err := json.Unmarshal([]byte(raw), &j); err != nil {
+		return &journal{} // corrupt journal: treat as partial deploy
+	}
+	return &j
+}
+
+func saveJournal(d *core.Deps, jobID string, j *journal) {
+	raw, err := json.Marshal(j)
+	if err != nil {
+		return
+	}
+	_, _ = d.Etcd.Put(types.GuardianJournalKey(jobID), string(raw))
+}

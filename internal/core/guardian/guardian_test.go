@@ -1,0 +1,74 @@
+package guardian
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdinalFromPodName(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"learner-job-000001-0", 0},
+		{"learner-job-000001-7", 7},
+		{"learner-job-000001-12", 12},
+		{"weird", 0},
+		{"trailing-", 0},
+		{"x-3a", 0}, // non-numeric suffix
+	}
+	for _, tc := range cases {
+		if got := ordinalFromPodName(tc.name); got != tc.want {
+			t.Errorf("ordinalFromPodName(%q) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// Property: the ordinal round-trips through the StatefulSet naming
+// convention for any job id and ordinal.
+func TestQuickOrdinalRoundTrip(t *testing.T) {
+	f := func(job uint16, ordinal uint8) bool {
+		name := LearnerSetName("job-" + itoa(int(job)))
+		pod := name + "-" + itoa(int(ordinal))
+		return ordinalFromPodName(pod) == int(ordinal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestResourceNamingDisjoint(t *testing.T) {
+	// Every per-job resource name embeds the job ID and the names never
+	// collide across resource kinds.
+	id := "job-000042"
+	names := []string{
+		VolumeName(id), HelperName(id), LearnerSetName(id), PolicyName(id), KubeJobName(id),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if !strings.Contains(n, id) {
+			t.Errorf("name %q does not embed the job id", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate resource name %q", n)
+		}
+		seen[n] = true
+	}
+	// Distinct jobs never share resource names.
+	if VolumeName("job-1") == VolumeName("job-2") {
+		t.Error("volume names collide across jobs")
+	}
+}

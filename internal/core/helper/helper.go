@@ -1,0 +1,300 @@
+// Package helper implements the four helper containers that DLaaS
+// deploys alongside every training job's learners: load-data,
+// log-collector, store-results, and the controller. The helper pod is
+// isolated from the learner pods but shares the job's NFS volume, which
+// is how the controller "monitors the execution and exit status of the
+// learner processes" and how status updates survive crashes (NFS makes
+// them resilient to controller crashes, etcd to Guardian crashes).
+package helper
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/learner"
+	"repro/internal/core/manifest"
+	"repro/internal/core/types"
+	"repro/internal/kube"
+	"repro/internal/nfs"
+	"repro/internal/objectstore"
+)
+
+// Poll cadences for the helper loops.
+const (
+	controllerPoll   = 500 * time.Millisecond
+	logCollectorPoll = 5 * time.Second
+)
+
+// Journal is the controller's NFS crash-recovery record: the last status
+// it published per learner, so a restarted controller resumes without
+// gaps or duplicates ("K8S will restart the controller which can read
+// current status and previous statuses from NFS").
+const journalPath = "controller/journal"
+
+// Markers written on the shared volume.
+const (
+	// DataReadyMarker is written by load-data after validating access
+	// to the training dataset.
+	DataReadyMarker = "helper/data-ready"
+	// ResultsStoredMarker is written by store-results after the trained
+	// model and logs are persisted.
+	ResultsStoredMarker = "helper/results-stored"
+)
+
+// Params configures the helper containers of one job.
+type Params struct {
+	Deps       *core.Deps
+	JobID      string
+	Manifest   *manifest.Manifest
+	VolumeName string
+}
+
+// PodSpec assembles the helper pod: one pod, four cooperating containers,
+// deployed by the Guardian as a K8s Deployment.
+func PodSpec(p Params) kube.PodSpec {
+	return kube.PodSpec{
+		Labels: map[string]string{
+			"app":    "dlaas-helper",
+			"job":    p.JobID,
+			"tenant": p.Manifest.TrainingData.AccessKey,
+		},
+		Tenant:        p.Manifest.TrainingData.AccessKey,
+		RestartPolicy: kube.RestartAlways,
+		Volumes:       []string{p.VolumeName},
+		Containers: []kube.ContainerSpec{
+			{
+				Name:       "load-data",
+				Image:      "dlaas/load-data",
+				StartDelay: 2200 * time.Millisecond,
+				Run:        func(ctx *kube.ContainerCtx) int { return runLoadData(ctx, p) },
+			},
+			{
+				Name:       "controller",
+				Image:      "dlaas/controller",
+				StartDelay: 2 * time.Second,
+				Run:        func(ctx *kube.ContainerCtx) int { return runController(ctx, p) },
+			},
+			{
+				Name:       "log-collector",
+				Image:      "dlaas/log-collector",
+				StartDelay: 2 * time.Second,
+				Run:        func(ctx *kube.ContainerCtx) int { return runLogCollector(ctx, p) },
+			},
+			{
+				Name:       "store-results",
+				Image:      "dlaas/store-results",
+				StartDelay: 2 * time.Second,
+				Run:        func(ctx *kube.ContainerCtx) int { return runStoreResults(ctx, p) },
+			},
+		},
+	}
+}
+
+// runLoadData validates access to the training data and publishes the
+// data-ready marker, then idles (helper containers are restart-always
+// servers).
+func runLoadData(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	vol, err := d.NFS.Volume(p.VolumeName)
+	if err != nil {
+		return learner.ExitVolumeError
+	}
+	m := p.Manifest
+	creds := objectstore.Credentials{AccessKey: m.TrainingData.AccessKey, SecretKey: m.TrainingData.SecretKey}
+	if _, err := d.ObjectStore.Stat(m.TrainingData.Bucket, m.TrainingData.Key, creds); err != nil {
+		vol.Write(DataReadyMarker, []byte(fmt.Sprintf("error: %v", err)))
+		<-ctx.Killed()
+		return 0
+	}
+	vol.Write(DataReadyMarker, []byte("ok"))
+	<-ctx.Killed()
+	return 0
+}
+
+// controllerJournal is the serialized journal structure.
+type controllerJournal struct {
+	// Last published status per learner ordinal.
+	Last map[string]types.LearnerStatus `json:"last"`
+}
+
+// runController watches learner status and exit files on NFS and mirrors
+// them into etcd, where the Guardian aggregates them. Decoupling via etcd
+// is the paper's mechanism for reliable status updates.
+func runController(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	vol, err := d.NFS.Volume(p.VolumeName)
+	if err != nil {
+		return learner.ExitVolumeError
+	}
+
+	// Crash recovery: resume from the journal so restarts don't republish.
+	journal := controllerJournal{Last: map[string]types.LearnerStatus{}}
+	if raw, err := vol.Read(journalPath); err == nil {
+		_ = json.Unmarshal(raw, &journal) // corrupt journal = start fresh
+	}
+
+	for {
+		for l := 0; l < p.Manifest.Learners; l++ {
+			status := currentLearnerStatus(vol, l)
+			if status == "" {
+				continue
+			}
+			key := fmt.Sprintf("%d", l)
+			if journal.Last[key] == status {
+				continue
+			}
+			update := types.StatusUpdate{
+				Learner: l,
+				Status:  status,
+				Time:    d.Clock.Now(),
+				Detail:  progressDetail(vol, l),
+			}
+			raw, err := json.Marshal(update)
+			if err != nil {
+				continue
+			}
+			if _, err := d.Etcd.Put(types.LearnerStatusKey(p.JobID, l), string(raw)); err != nil {
+				// etcd momentarily unavailable (leader election):
+				// retry on the next poll rather than losing the update.
+				continue
+			}
+			journal.Last[key] = status
+			if jraw, err := json.Marshal(journal); err == nil {
+				vol.Write(journalPath, jraw)
+			}
+		}
+		if !ctx.Sleep(controllerPoll) {
+			return 0
+		}
+	}
+}
+
+// currentLearnerStatus derives learner l's status from the shared volume:
+// the exit file wins (orderly termination), otherwise the status file.
+func currentLearnerStatus(vol *nfs.Volume, l int) types.LearnerStatus {
+	if code, ok := vol.ReadExitCode(l); ok {
+		if code == 0 {
+			return types.LearnerCompleted
+		}
+		return types.LearnerFailed
+	}
+	raw, err := vol.Read(learner.StatusPath(l))
+	if err != nil {
+		return ""
+	}
+	return types.LearnerStatus(raw)
+}
+
+func progressDetail(vol *nfs.Volume, l int) string {
+	raw, err := vol.Read(learner.ProgressPath(l))
+	if err != nil {
+		return ""
+	}
+	return "images=" + string(raw)
+}
+
+// runLogCollector periodically uploads learner logs from NFS to the
+// results bucket so logs survive any pod's demise ("reliable streaming of
+// logs from the job, irrespective of the stage it is in, even if it
+// crashes/fails").
+func runLogCollector(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	vol, err := d.NFS.Volume(p.VolumeName)
+	if err != nil {
+		return learner.ExitVolumeError
+	}
+	m := p.Manifest
+	creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
+	type shipped struct{ logs, metrics int64 }
+	uploaded := make(map[int]shipped) // bytes already shipped per learner
+	for {
+		for l := 0; l < m.Learners; l++ {
+			got := uploaded[l]
+			if size := vol.Size(learner.LogPath(l)); size != got.logs {
+				if raw, err := vol.Read(learner.LogPath(l)); err == nil {
+					key := fmt.Sprintf("logs/%s/learner-%d.log", p.JobID, l)
+					if err := d.ObjectStore.Put(m.Results.Bucket, key, raw, creds); err == nil {
+						got.logs = size
+					}
+				}
+			}
+			if size := vol.Size(learner.MetricsPath(l)); size != got.metrics {
+				if raw, err := vol.Read(learner.MetricsPath(l)); err == nil {
+					key := fmt.Sprintf("metrics/%s/learner-%d.jsonl", p.JobID, l)
+					if err := d.ObjectStore.Put(m.Results.Bucket, key, raw, creds); err == nil {
+						got.metrics = size
+					}
+				}
+			}
+			uploaded[l] = got
+		}
+		if !ctx.Sleep(logCollectorPoll) {
+			return 0
+		}
+	}
+}
+
+// runStoreResults waits for every learner to finish successfully, then
+// persists the trained model to the results bucket and publishes the
+// stored marker that lets the Guardian declare the job COMPLETED.
+func runStoreResults(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	vol, err := d.NFS.Volume(p.VolumeName)
+	if err != nil {
+		return learner.ExitVolumeError
+	}
+	m := p.Manifest
+	creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
+	for {
+		done, failed := 0, 0
+		for l := 0; l < m.Learners; l++ {
+			code, ok := vol.ReadExitCode(l)
+			if !ok {
+				continue
+			}
+			if code == 0 {
+				done++
+			} else {
+				failed++
+			}
+		}
+		if failed > 0 {
+			// Nothing to store; the Guardian handles failure.
+			<-ctx.Killed()
+			return 0
+		}
+		if done == m.Learners {
+			break
+		}
+		if !ctx.Sleep(controllerPoll) {
+			return 0
+		}
+	}
+	// Upload the trained model (a full parameter snapshot).
+	modelBytes := p.Manifest.ModelSpec().Params * 4
+	d.DataLink.Transfer(modelBytes)
+	key := fmt.Sprintf("models/%s/model.bin", p.JobID)
+	_ = d.ObjectStore.PutSynthetic(m.Results.Bucket, key, modelBytes, creds)
+
+	// Ship the final logs and metrics before declaring results stored:
+	// the Guardian tears the volume down right after the marker appears,
+	// and the log-collector's periodic pass may not run again — both
+	// streams must be complete in the results bucket first ("reliable
+	// streaming of logs ... irrespective of the stage it is in").
+	for l := 0; l < m.Learners; l++ {
+		if raw, err := vol.Read(learner.LogPath(l)); err == nil {
+			logKey := fmt.Sprintf("logs/%s/learner-%d.log", p.JobID, l)
+			_ = d.ObjectStore.Put(m.Results.Bucket, logKey, raw, creds)
+		}
+		if raw, err := vol.Read(learner.MetricsPath(l)); err == nil {
+			metKey := fmt.Sprintf("metrics/%s/learner-%d.jsonl", p.JobID, l)
+			_ = d.ObjectStore.Put(m.Results.Bucket, metKey, raw, creds)
+		}
+	}
+
+	vol.Write(ResultsStoredMarker, []byte("ok"))
+	<-ctx.Killed()
+	return 0
+}

@@ -1,0 +1,248 @@
+// Package lcm implements the DLaaS Lifecycle Manager microservice: "the
+// LCM is responsible for the job from submission to completion/failure,
+// i.e., the deployment, monitoring, garbage collection, and
+// user-initiated termination of the job". The LCM's sole deployment
+// action is deliberately tiny — instantiate a Guardian as a Kubernetes
+// Job ("a very quick (less than 3s in our experiments) single step
+// process") — so the multi-step, failure-prone provisioning work happens
+// under the Guardian's crash-restart umbrella instead.
+package lcm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/guardian"
+	"repro/internal/core/manifest"
+	"repro/internal/core/types"
+	"repro/internal/kube"
+	"repro/internal/rpc"
+)
+
+// Methods exposed on the RPC fabric.
+const (
+	// MethodDeploy deploys a queued job: DeployRequest -> DeployResponse.
+	MethodDeploy = "deploy"
+	// MethodHalt terminates a job: HaltRequest -> HaltResponse.
+	MethodHalt = "halt"
+)
+
+// guardianBackoffLimit is how many Guardian pod failures the hosting
+// Kubernetes Job tolerates. Guardian crashes are expected (that is the
+// design), so the limit is generous; the Guardian's own deploy-attempt
+// counter is what bounds retries.
+const guardianBackoffLimit = 25
+
+// sweepInterval is the cadence of the QUEUED-job recovery sweep.
+const sweepInterval = 2 * time.Second
+
+// DeployRequest asks the LCM to take over a queued job.
+type DeployRequest struct {
+	JobID string
+}
+
+// DeployResponse acknowledges guardianship.
+type DeployResponse struct {
+	GuardianJob string
+}
+
+// HaltRequest asks for user-initiated termination.
+type HaltRequest struct {
+	JobID string
+}
+
+// HaltResponse reports the resulting state.
+type HaltResponse struct {
+	State types.JobState
+}
+
+// Service is one LCM instance.
+type Service struct {
+	deps *core.Deps
+	// GuardianStepDelay is forwarded to Guardians (test hook).
+	GuardianStepDelay time.Duration
+	// MaxDeployAttempts is forwarded to Guardians.
+	MaxDeployAttempts int
+
+	mu     sync.Mutex
+	gcDone map[string]bool // jobs already garbage-collected
+}
+
+// New creates an LCM service.
+func New(deps *core.Deps) *Service {
+	return &Service{deps: deps, gcDone: make(map[string]bool)}
+}
+
+// ContainerSpec builds the LCM container for its Deployment. The LCM is
+// a Go microservice; its Fig. 4 recovery window is 4-6s.
+func (s *Service) ContainerSpec() kube.ContainerSpec {
+	return kube.ContainerSpec{
+		Name:       "lcm",
+		Image:      "dlaas/lcm",
+		StartDelay: 4 * time.Second,
+		Run:        s.run,
+	}
+}
+
+// run registers the instance on the RPC fabric, performs the recovery
+// sweep for jobs accepted but never deployed, and serves until killed.
+func (s *Service) run(ctx *kube.ContainerCtx) int {
+	reg := s.deps.Bus.Register(core.LCMService, ctx.PodName(), s.handle)
+	defer reg.Deregister()
+
+	// Recovery sweep: any job still QUEUED (e.g. the API durably
+	// accepted it and then the LCM crashed before deploying) gets a
+	// Guardian now — "submitted jobs are never lost". The sweep repeats
+	// so QUEUED jobs are picked up even if a deploy races a crash.
+	// Garbage collection — "the deployment, monitoring, garbage
+	// collection, and user-initiated termination of the job" — runs in
+	// the same loop: terminal jobs' leftover cluster resources are
+	// reaped as a backstop behind the Guardian's own teardown.
+	for {
+		s.sweepQueued()
+		s.garbageCollect()
+		if !ctx.Sleep(sweepInterval) {
+			return 0
+		}
+	}
+}
+
+func (s *Service) sweepQueued() {
+	jobs, err := s.deps.ListJobs("")
+	if err != nil {
+		return
+	}
+	for _, rec := range jobs {
+		if rec.State == types.StateQueued {
+			_, _ = s.deploy(rec.ID)
+		}
+	}
+}
+
+// garbageCollect reaps the resources of terminal jobs: the finished
+// Guardian Kubernetes Job object, and — should a Guardian have died
+// before its own teardown completed — the job's StatefulSet, helper
+// Deployment, NFS volume, network policy and etcd keys. All deletions
+// are name-addressed and idempotent.
+func (s *Service) garbageCollect() {
+	jobs, err := s.deps.ListJobs("")
+	if err != nil {
+		return
+	}
+	for _, rec := range jobs {
+		if !rec.State.Terminal() {
+			continue
+		}
+		s.mu.Lock()
+		done := s.gcDone[rec.ID]
+		s.mu.Unlock()
+		if done {
+			// Already reaped by this instance; a restarted LCM re-reaps
+			// once (idempotent deletes), which is the intended backstop.
+			continue
+		}
+		if kj := s.deps.Kube.JobByName(guardian.KubeJobName(rec.ID)); kj != nil {
+			if done, failed, _ := kj.Status(); done || failed {
+				s.deps.Kube.DeleteJob(kj.Name())
+			} else {
+				// Guardian still unwinding; let it finish first.
+				continue
+			}
+		}
+		s.deps.Kube.RemoveNetworkPolicy(guardian.PolicyName(rec.ID))
+		s.deps.Kube.DeleteStatefulSet(guardian.LearnerSetName(rec.ID))
+		s.deps.Kube.DeleteDeployment(guardian.HelperName(rec.ID))
+		s.deps.NFS.Release(guardian.VolumeName(rec.ID))
+		if kvs, err := s.deps.Etcd.Range(types.JobPrefix(rec.ID)); err == nil {
+			for _, kv := range kvs {
+				_ = s.deps.Etcd.Delete(kv.Key)
+			}
+		}
+		s.mu.Lock()
+		s.gcDone[rec.ID] = true
+		s.mu.Unlock()
+	}
+}
+
+// handle dispatches RPC calls.
+func (s *Service) handle(_ context.Context, method string, req any) (any, error) {
+	switch method {
+	case MethodDeploy:
+		r, ok := req.(DeployRequest)
+		if !ok {
+			return nil, fmt.Errorf("lcm: bad request type %T", req)
+		}
+		return s.deploy(r.JobID)
+	case MethodHalt:
+		r, ok := req.(HaltRequest)
+		if !ok {
+			return nil, fmt.Errorf("lcm: bad request type %T", req)
+		}
+		return s.halt(r.JobID)
+	default:
+		return nil, fmt.Errorf("lcm: unknown method %q", method)
+	}
+}
+
+// deploy instantiates the job's Guardian as a Kubernetes Job. It is
+// idempotent: an existing Guardian Job satisfies the request.
+func (s *Service) deploy(jobID string) (DeployResponse, error) {
+	name := guardian.KubeJobName(jobID)
+	if s.deps.Kube.JobByName(name) != nil {
+		return DeployResponse{GuardianJob: name}, nil
+	}
+	rec, err := s.deps.GetJob(jobID)
+	if err != nil {
+		return DeployResponse{}, err
+	}
+	if rec.State.Terminal() {
+		return DeployResponse{GuardianJob: name}, nil
+	}
+	m, err := manifest.Decode(rec.Manifest)
+	if err != nil {
+		_, _ = s.deps.TransitionJob(jobID, types.StateFailed, "manifest corrupted: "+err.Error())
+		return DeployResponse{}, err
+	}
+	spec := kube.PodSpec{
+		Labels: map[string]string{"app": "dlaas-guardian", "job": jobID},
+		Containers: []kube.ContainerSpec{guardian.ContainerSpec(guardian.Params{
+			Deps:              s.deps,
+			JobID:             jobID,
+			Manifest:          m,
+			MaxDeployAttempts: s.MaxDeployAttempts,
+			StepDelay:         s.GuardianStepDelay,
+		})},
+		RestartPolicy: kube.RestartNever,
+	}
+	if _, err := s.deps.Kube.CreateJob(name, guardianBackoffLimit, spec); err != nil {
+		return DeployResponse{}, fmt.Errorf("creating guardian job: %w", err)
+	}
+	return DeployResponse{GuardianJob: name}, nil
+}
+
+// halt marks the job HALTED; the Guardian observes the state and tears
+// the job down. Jobs without a Guardian yet (QUEUED) are halted directly.
+func (s *Service) halt(jobID string) (HaltResponse, error) {
+	rec, err := s.deps.TransitionJob(jobID, types.StateHalted, "user requested termination")
+	if err != nil {
+		return HaltResponse{}, err
+	}
+	return HaltResponse{State: rec.State}, nil
+}
+
+// Call is a typed client helper for other services and tests.
+func Call[Req, Resp any](bus *rpc.Bus, method string, req Req) (Resp, error) {
+	var zero Resp
+	out, err := bus.Call(context.Background(), core.LCMService, method, req)
+	if err != nil {
+		return zero, err
+	}
+	resp, ok := out.(Resp)
+	if !ok {
+		return zero, fmt.Errorf("lcm: unexpected response type %T", out)
+	}
+	return resp, nil
+}

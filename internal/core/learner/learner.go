@@ -1,0 +1,324 @@
+// Package learner implements the learner container process: the actual
+// DL training workload inside a framework image. A learner streams
+// training data from the object store, advances the (simulated) training
+// computation, checkpoints periodically to the object store, appends logs
+// and status to the shared NFS volume, and on restart resumes from the
+// latest checkpoint — losing at most one checkpoint interval of work, as
+// the paper promises.
+package learner
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/manifest"
+	"repro/internal/core/types"
+	"repro/internal/gpu"
+	"repro/internal/kube"
+	"repro/internal/netsim"
+	"repro/internal/nfs"
+	"repro/internal/objectstore"
+	"repro/internal/trainsim"
+)
+
+// Exit codes written to the NFS exit-status file.
+const (
+	// ExitOK signals orderly completion.
+	ExitOK = 0
+	// ExitDataError signals inaccessible training data.
+	ExitDataError = 3
+	// ExitVolumeError signals a missing shared volume.
+	ExitVolumeError = 4
+	// ExitOOM signals the batch does not fit the GPU's device memory.
+	ExitOOM = 5
+)
+
+// statusPollGrain is how finely training sleep is chunked so that kills
+// are observed promptly and logs accrue steadily.
+const maxChunks = 64
+
+// Params configures one learner container.
+type Params struct {
+	Deps     *core.Deps
+	JobID    string
+	Ordinal  int
+	Manifest *manifest.Manifest
+	// VolumeName is the job's shared NFS volume.
+	VolumeName string
+	// GPU is the resolved GPU spec for this job.
+	GPU gpu.Spec
+}
+
+// StatusPath is the NFS file where learner l publishes its status.
+func StatusPath(l int) string { return fmt.Sprintf("learner-%d/status", l) }
+
+// LogPath is the NFS file where learner l appends training logs.
+func LogPath(l int) string { return fmt.Sprintf("learner-%d/training.log", l) }
+
+// ProgressPath is the NFS file where learner l records images processed.
+func ProgressPath(l int) string { return fmt.Sprintf("learner-%d/progress", l) }
+
+// MetricsPath is the NFS file where learner l appends its training
+// progress graph (JSON lines of trainsim.MetricPoint). The paper notes
+// users profile jobs with these graphs and that the graph of a job that
+// was restarted differs slightly from one that never failed — the
+// rollback to the last checkpoint is visible in the series.
+func MetricsPath(l int) string { return fmt.Sprintf("learner-%d/metrics.jsonl", l) }
+
+// checkpointPrefix is the results-bucket key prefix for checkpoints.
+func checkpointPrefix(jobID string) string {
+	return fmt.Sprintf("checkpoints/%s/ckpt-", jobID)
+}
+
+// ContainerSpec builds the kube container for a learner. Heavy framework
+// images and the object-store binding dominate its restart latency
+// ("Learners take longest to restart because binding to cloud object
+// store and persistent NFS volumes takes longer, and Caffe/Tensorflow
+// pods take longer to restart").
+func ContainerSpec(p Params) kube.ContainerSpec {
+	return kube.ContainerSpec{
+		Name:       "learner",
+		Image:      string(p.Manifest.Framework) + ":dlaas",
+		StartDelay: 7 * time.Second,
+		Run:        func(ctx *kube.ContainerCtx) int { return run(ctx, p) },
+	}
+}
+
+// TrainingConfig builds the trainsim configuration for the whole job
+// (all learners train synchronously, so step timing is global).
+func TrainingConfig(m *manifest.Manifest, g gpu.Spec) trainsim.Config {
+	interconnect := g.HostLink
+	if m.Learners > 1 {
+		// Cross-learner synchronization leaves the box: it rides the
+		// datacenter network.
+		interconnect = netsim.Ethernet1G
+	}
+	return trainsim.Config{
+		Model:        m.ModelSpec(),
+		Framework:    trainsim.Framework(m.Framework),
+		GPU:          g,
+		NumGPUs:      m.Learners * m.GPUsPerLearner,
+		BatchPerGPU:  m.BatchPerGPU,
+		Sync:         trainsim.SyncAllReduce,
+		Interconnect: interconnect,
+		Overheads:    trainsim.DLaaS(),
+	}
+}
+
+func run(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	vol, err := d.NFS.Volume(p.VolumeName)
+	if err != nil {
+		return ExitVolumeError
+	}
+	writeStatus := func(s types.LearnerStatus) {
+		vol.Write(StatusPath(p.Ordinal), []byte(s))
+	}
+	logf := func(format string, args ...any) {
+		line := fmt.Sprintf("%s learner-%d: %s\n",
+			d.Clock.Now().Format("15:04:05"), p.Ordinal, fmt.Sprintf(format, args...))
+		vol.Append(LogPath(p.Ordinal), []byte(line))
+	}
+
+	writeStatus(types.LearnerStarting)
+	logf("starting (incarnation %d) on node %s", ctx.Restart(), ctx.NodeName())
+
+	m := p.Manifest
+
+	// MPI-style rendezvous: distributed learners wait until every peer
+	// has registered on the shared volume before proceeding, so a
+	// partially placed gang never trains alone ("setting up network
+	// (MPI) interconnections" is part of atomic provisioning).
+	if m.Learners > 1 {
+		for {
+			ready := 0
+			for l := 0; l < m.Learners; l++ {
+				if vol.Exists(StatusPath(l)) {
+					ready++
+				}
+			}
+			if ready == m.Learners {
+				break
+			}
+			if !ctx.Sleep(time.Second) {
+				return exitKilled()
+			}
+		}
+		logf("rendezvous complete: %d learners connected", m.Learners)
+	}
+	dataCreds := objectstore.Credentials{AccessKey: m.TrainingData.AccessKey, SecretKey: m.TrainingData.SecretKey}
+	resCreds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
+
+	// Verify training data access before burning GPU time.
+	dataObj, err := d.ObjectStore.Stat(m.TrainingData.Bucket, m.TrainingData.Key, dataCreds)
+	if err != nil {
+		logf("training data inaccessible: %v", err)
+		writeStatus(types.LearnerFailed)
+		vol.WriteExitCode(p.Ordinal, ExitDataError)
+		return ExitDataError
+	}
+
+	cfg := TrainingConfig(m, p.GPU)
+
+	// Out-of-memory check: the framework aborts at startup when the
+	// batch's activations don't fit the device. This is an orderly
+	// failure — the exit file tells the controller, which tells the
+	// Guardian, which fails the job with a diagnosable reason.
+	if !cfg.FitsMemory() {
+		logf("OOM: %s batch %d needs %d MB, %s has %d MB",
+			m.Model, m.BatchPerGPU, cfg.MemoryRequiredBytes()>>20, p.GPU.Name, int64(p.GPU.MemGB*1000))
+		writeStatus(types.LearnerFailed)
+		vol.WriteExitCode(p.Ordinal, ExitOOM)
+		return ExitOOM
+	}
+
+	totalImages := int64(m.Epochs) * m.DatasetImages
+
+	// Resume from the latest checkpoint, if any. The checkpoint download
+	// is a real transfer — part of why learner recovery is the slowest
+	// in Fig. 4.
+	imagesDone := latestCheckpoint(d, m, resCreds, p.JobID)
+	if imagesDone > 0 {
+		d.DataLink.Transfer(cfg.CheckpointBytes())
+		logf("resumed from checkpoint at %d/%d images", imagesDone, totalImages)
+	}
+
+	// Warm the input pipeline: stream the first shard of the epoch.
+	writeStatus(types.LearnerDownloading)
+	shard := dataObj.Size / int64(m.Learners)
+	if shard > 0 {
+		warm := shard / 64
+		if warm > 256<<20 {
+			warm = 256 << 20
+		}
+		d.DataLink.Transfer(warm)
+	}
+
+	writeStatus(types.LearnerTraining)
+	logf("training %s/%s on %d GPU(s) x %d learner(s), batch %d",
+		m.Model, m.Framework, m.GPUsPerLearner, m.Learners, m.BatchPerGPU)
+
+	stepImages := int64(cfg.NumGPUs * m.BatchPerGPU)
+	if stepImages == 0 {
+		stepImages = int64(m.BatchPerGPU)
+	}
+	stepTime := cfg.StepTime()
+
+	// Checkpoint cadence in images.
+	ckptImages := totalImages // no periodic checkpoints by default
+	if m.CheckpointInterval > 0 {
+		steps := int64(m.CheckpointInterval / stepTime)
+		if steps < 1 {
+			steps = 1
+		}
+		ckptImages = steps * stepImages
+	}
+
+	for imagesDone < totalImages {
+		target := imagesDone + ckptImages
+		if target > totalImages {
+			target = totalImages
+		}
+		if !trainSpan(ctx, d, vol, p, cfg, stepTime, stepImages, &imagesDone, target, logf) {
+			// Killed mid-training: this incarnation ends as a crash;
+			// the recovered learner resumes from the last checkpoint.
+			return exitKilled()
+		}
+		if imagesDone < totalImages && m.CheckpointInterval > 0 {
+			writeCheckpoint(d, m, resCreds, cfg, p.JobID, imagesDone)
+			logf("checkpoint at %d/%d images (%d bytes)", imagesDone, totalImages, cfg.CheckpointBytes())
+		}
+	}
+
+	writeStatus(types.LearnerCompleted)
+	logf("training complete: %d images", imagesDone)
+	vol.WriteExitCode(p.Ordinal, ExitOK)
+
+	// Hold the container open: completion is signaled through the exit
+	// file; the Guardian tears the StatefulSet down after storing
+	// results.
+	<-ctx.Killed()
+	return ExitOK
+}
+
+// trainSpan advances training to target images, sleeping in chunks so the
+// process observes kills and publishes progress. It reports false when
+// killed.
+func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
+	cfg trainsim.Config, stepTime time.Duration, stepImages int64,
+	imagesDone *int64, target int64, logf func(string, ...any)) bool {
+
+	remaining := target - *imagesDone
+	steps := (remaining + stepImages - 1) / stepImages
+	chunkSteps := steps / maxChunks
+	if chunkSteps < 1 {
+		chunkSteps = 1
+	}
+	curve := trainsim.CurveFor(cfg.Model, 42)
+	for *imagesDone < target {
+		n := chunkSteps
+		left := (target - *imagesDone + stepImages - 1) / stepImages
+		if n > left {
+			n = left
+		}
+		if !ctx.Sleep(time.Duration(n) * stepTime) {
+			return false
+		}
+		*imagesDone += n * stepImages
+		if *imagesDone > target {
+			*imagesDone = target
+		}
+		vol.Write(ProgressPath(p.Ordinal), []byte(strconv.FormatInt(*imagesDone, 10)))
+		point := trainsim.MetricPoint{
+			ClusterSeconds: float64(d.Clock.Now().UnixNano()) / 1e9,
+			Images:         *imagesDone,
+			Loss:           curve.LossAt(*imagesDone),
+			Restarts:       ctx.Restart(),
+		}
+		if raw, err := json.Marshal(point); err == nil {
+			vol.Append(MetricsPath(p.Ordinal), append(raw, '\n'))
+		}
+	}
+	logf("progress: %d images (%.1f img/s aggregate)", *imagesDone, cfg.Throughput())
+	return true
+}
+
+// writeCheckpoint persists the model state to the results bucket,
+// charging the transfer to the shared data network. Only learner state
+// for the job as a whole is stored (one checkpoint stream), keyed by
+// progress so recovery can find the newest.
+func writeCheckpoint(d *core.Deps, m *manifest.Manifest, creds objectstore.Credentials,
+	cfg trainsim.Config, jobID string, imagesDone int64) {
+	d.DataLink.Transfer(cfg.CheckpointBytes())
+	key := fmt.Sprintf("%s%012d", checkpointPrefix(jobID), imagesDone)
+	_ = d.ObjectStore.PutSynthetic(m.Results.Bucket, key, cfg.CheckpointBytes(), creds)
+}
+
+// latestCheckpoint returns the highest checkpointed image count for the
+// job, or 0 when none exists.
+func latestCheckpoint(d *core.Deps, m *manifest.Manifest, creds objectstore.Credentials, jobID string) int64 {
+	keys, err := d.ObjectStore.List(m.Results.Bucket, creds)
+	if err != nil {
+		return 0
+	}
+	prefix := checkpointPrefix(jobID)
+	var best int64
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimLeft(strings.TrimPrefix(k, prefix), "0"), 10, 64)
+		if err == nil && n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+func exitKilled() int { return 137 }

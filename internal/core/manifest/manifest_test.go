@@ -1,0 +1,135 @@
+package manifest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func valid() Manifest {
+	return Manifest{
+		Name:           "train-1",
+		Framework:      "tensorflow",
+		Model:          "resnet50",
+		Learners:       2,
+		GPUsPerLearner: 1,
+		BatchPerGPU:    32,
+		Epochs:         3,
+		DatasetImages:  100000,
+		TrainingData: DataRef{
+			Bucket: "data", Key: "imagenet.rec", AccessKey: "ak", SecretKey: "sk",
+		},
+		Results: DataRef{
+			Bucket: "results", AccessKey: "ak", SecretKey: "sk",
+		},
+		CheckpointInterval: time.Hour,
+	}
+}
+
+func TestValidManifestPasses(t *testing.T) {
+	m := valid()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		substr string
+	}{
+		{"empty name", func(m *Manifest) { m.Name = "" }, "name"},
+		{"bad framework", func(m *Manifest) { m.Framework = "jax" }, "framework"},
+		{"zero learners", func(m *Manifest) { m.Learners = 0 }, "learners"},
+		{"negative gpus", func(m *Manifest) { m.GPUsPerLearner = -1 }, "gpus"},
+		{"zero batch", func(m *Manifest) { m.BatchPerGPU = 0 }, "batch"},
+		{"zero epochs", func(m *Manifest) { m.Epochs = 0 }, "epochs"},
+		{"zero dataset", func(m *Manifest) { m.DatasetImages = 0 }, "dataset"},
+		{"no data bucket", func(m *Manifest) { m.TrainingData.Bucket = "" }, "training_data.bucket"},
+		{"no data key", func(m *Manifest) { m.TrainingData.Key = "" }, "training_data.key"},
+		{"no results bucket", func(m *Manifest) { m.Results.Bucket = "" }, "results.bucket"},
+		{"negative checkpoint", func(m *Manifest) { m.CheckpointInterval = -time.Second }, "checkpoint"},
+		{"unknown model", func(m *Manifest) { m.Model = "gpt4" }, "model"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := valid()
+			tc.mutate(&m)
+			err := m.Validate()
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v, want ErrInvalid", err)
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("err %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := valid()
+	raw, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != m {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, m)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode("{not json"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+	// Valid JSON but invalid manifest.
+	if _, err := Decode(`{"name":"x"}`); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestTotalGPUs(t *testing.T) {
+	m := valid()
+	m.Learners = 4
+	m.GPUsPerLearner = 2
+	if m.TotalGPUs() != 8 {
+		t.Fatalf("TotalGPUs = %d", m.TotalGPUs())
+	}
+}
+
+func TestModelSpecResolution(t *testing.T) {
+	m := valid()
+	spec := m.ModelSpec()
+	if spec.Name != "resnet50" || spec.Params == 0 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+// Property: every valid manifest survives an encode/decode round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	frameworks := []string{"caffe", "tensorflow", "pytorch", "torch", "horovod"}
+	models := []string{"vgg16", "resnet50", "inceptionv3", "alexnet", "googlenet"}
+	f := func(fi, mi uint8, learners, batch, epochs uint8) bool {
+		m := valid()
+		m.Framework = frameworks[int(fi)%len(frameworks)]
+		m.Model = models[int(mi)%len(models)]
+		m.Learners = int(learners%8) + 1
+		m.BatchPerGPU = int(batch%128) + 1
+		m.Epochs = int(epochs%10) + 1
+		raw, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		return err == nil && *got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

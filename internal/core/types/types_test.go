@@ -1,0 +1,109 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalStates(t *testing.T) {
+	terminal := []JobState{StateCompleted, StateFailed, StateHalted}
+	for _, s := range terminal {
+		if !s.Terminal() {
+			t.Errorf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []JobState{StateQueued, StateDeploying, StateProcessing, StateStoring} {
+		if s.Terminal() {
+			t.Errorf("%s should not be terminal", s)
+		}
+	}
+}
+
+func TestCanonicalPathIsLegal(t *testing.T) {
+	path := []JobState{StateQueued, StateDeploying, StateProcessing, StateStoring, StateCompleted}
+	for i := 0; i+1 < len(path); i++ {
+		if !CanTransition(path[i], path[i+1]) {
+			t.Errorf("canonical transition %s -> %s rejected", path[i], path[i+1])
+		}
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	bad := [][2]JobState{
+		{StateQueued, StateCompleted},
+		{StateQueued, StateProcessing},
+		{StateCompleted, StateProcessing},
+		{StateFailed, StateDeploying},
+		{StateHalted, StateProcessing},
+		{StateStoring, StateProcessing},
+	}
+	for _, pair := range bad {
+		if CanTransition(pair[0], pair[1]) {
+			t.Errorf("illegal transition %s -> %s accepted", pair[0], pair[1])
+		}
+	}
+}
+
+func TestHaltReachableFromEveryNonTerminalState(t *testing.T) {
+	for _, s := range []JobState{StateQueued, StateDeploying, StateProcessing, StateStoring} {
+		if !CanTransition(s, StateHalted) {
+			t.Errorf("halt unreachable from %s", s)
+		}
+	}
+}
+
+func TestFailureReachableFromEveryNonTerminalState(t *testing.T) {
+	for _, s := range []JobState{StateQueued, StateDeploying, StateProcessing, StateStoring} {
+		if !CanTransition(s, StateFailed) {
+			t.Errorf("FAILED unreachable from %s", s)
+		}
+	}
+}
+
+func TestGuardianRedeployTransition(t *testing.T) {
+	// A recovered Guardian may re-enter DEPLOYING from PROCESSING.
+	if !CanTransition(StateProcessing, StateDeploying) {
+		t.Error("PROCESSING -> DEPLOYING rejected")
+	}
+	// And refresh DEPLOYING on retry.
+	if !CanTransition(StateDeploying, StateDeploying) {
+		t.Error("DEPLOYING -> DEPLOYING rejected")
+	}
+}
+
+// Property: no transition ever leaves a terminal state.
+func TestQuickTerminalStatesAreSinks(t *testing.T) {
+	all := []JobState{StateQueued, StateDeploying, StateProcessing, StateStoring,
+		StateCompleted, StateFailed, StateHalted}
+	f := func(i, j uint8) bool {
+		from := all[int(i)%len(all)]
+		to := all[int(j)%len(all)]
+		if from.Terminal() && CanTransition(from, to) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyConventions(t *testing.T) {
+	if got := LearnerStatusKey("job-7", 2); got != "/dlaas/jobs/job-7/learners/2/status" {
+		t.Fatalf("LearnerStatusKey = %q", got)
+	}
+	if got := LearnerStatusPrefix("job-7"); got != "/dlaas/jobs/job-7/learners/" {
+		t.Fatalf("LearnerStatusPrefix = %q", got)
+	}
+	if got := GuardianJournalKey("job-7"); got != "/dlaas/jobs/job-7/guardian/journal" {
+		t.Fatalf("GuardianJournalKey = %q", got)
+	}
+	// Every per-job key lives under the job prefix, so cleanup by
+	// prefix is complete.
+	prefix := JobPrefix("job-7")
+	for _, k := range []string{LearnerStatusKey("job-7", 0), GuardianJournalKey("job-7")} {
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			t.Errorf("key %q escapes job prefix %q", k, prefix)
+		}
+	}
+}

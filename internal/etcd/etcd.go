@@ -1,0 +1,566 @@
+// Package etcd provides a replicated, linearizable key-value store built
+// on the Raft implementation in internal/raft. It stands in for the 3-way
+// replicated etcd cluster that DLaaS uses to coordinate the Helper
+// controller and the Guardian ("we employ the ETCD key-value store to
+// co-ordinate between the controller and LCM/Guardian... ETCD itself is
+// replicated (3-way), and uses the Raft consensus protocol").
+//
+// Every operation — including reads — is sequenced through the Raft log,
+// so results are linearizable by construction. Watches observe the apply
+// stream and survive the crash of any minority of nodes.
+package etcd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/raft"
+)
+
+// Common errors.
+var (
+	// ErrTimeout indicates the operation did not commit before the
+	// deadline (no leader, or this client is partitioned).
+	ErrTimeout = errors.New("etcd: request timed out")
+	// ErrCASFailed indicates the compare-and-swap precondition failed.
+	ErrCASFailed = errors.New("etcd: compare failed")
+	// ErrClosed indicates the store has been shut down.
+	ErrClosed = errors.New("etcd: store closed")
+)
+
+// EventType distinguishes watch events.
+type EventType int
+
+// Watch event kinds.
+const (
+	EventPut EventType = iota + 1
+	EventDelete
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EventPut:
+		return "PUT"
+	case EventDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Event is a single change notification.
+type Event struct {
+	Type  EventType
+	Key   string
+	Value string
+	// Rev is the Raft log index that produced the event.
+	Rev uint64
+}
+
+// KV is a key with its value and last-modification revision.
+type KV struct {
+	Key   string
+	Value string
+	Rev   uint64
+}
+
+// opKind enumerates commands in the replicated log.
+type opKind string
+
+const (
+	opPut    opKind = "put"
+	opDelete opKind = "delete"
+	opCAS    opKind = "cas"
+	opGet    opKind = "get"
+	opRange  opKind = "range"
+)
+
+// command is the JSON-encoded payload of a Raft entry.
+type command struct {
+	ReqID string `json:"req_id"`
+	Op    opKind `json:"op"`
+	Key   string `json:"key,omitempty"`
+	Value string `json:"value,omitempty"`
+	// Prev is the expected current value for CAS ("" means
+	// must-not-exist when PrevExists is false).
+	Prev       string `json:"prev,omitempty"`
+	PrevExists bool   `json:"prev_exists,omitempty"`
+}
+
+// result is what applying a command yields (deterministic on every node).
+type result struct {
+	val    string
+	found  bool
+	ok     bool // CAS success
+	kvs    []KV
+	rev    uint64
+	events []Event
+}
+
+// defaultRequestTimeout bounds how long a client op waits for commit.
+const defaultRequestTimeout = 5 * time.Second
+
+// defaultCompactEvery is how many applied entries a node accumulates
+// before snapshotting its state machine and compacting the Raft log.
+const defaultCompactEvery = 1000
+
+// Store is a handle to the replicated KV cluster.
+type Store struct {
+	clk          clock.Clock
+	cluster      *raft.Cluster
+	timeout      time.Duration
+	compactEvery int
+
+	mu       sync.Mutex
+	sms      map[int]*stateMachine
+	stops    map[int]chan struct{}
+	waiters  map[string]chan result
+	watchers []*watcher
+	lastRev  uint64 // highest apply index delivered to watchers
+	reqSeq   uint64
+	closed   bool
+}
+
+// watcher receives events for keys under its prefix.
+type watcher struct {
+	prefix string
+	ch     chan Event
+	done   chan struct{}
+}
+
+// New boots an n-way replicated store on clk. The paper's deployment uses
+// n = 3.
+func New(n int, clk clock.Clock) *Store {
+	s := &Store{
+		clk:          clk,
+		cluster:      raft.NewCluster(n, raft.DefaultConfig(clk)),
+		timeout:      defaultRequestTimeout,
+		compactEvery: defaultCompactEvery,
+		sms:          make(map[int]*stateMachine, n),
+		stops:        make(map[int]chan struct{}, n),
+		waiters:      make(map[string]chan result),
+	}
+	for _, id := range s.cluster.IDs() {
+		s.startApplier(id)
+	}
+	return s
+}
+
+// SetCompactEvery overrides the per-node log-compaction threshold
+// (entries applied between snapshots). Intended for tests and benches.
+func (s *Store) SetCompactEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > 0 {
+		s.compactEvery = n
+	}
+}
+
+// Close shuts down the cluster and all watchers.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	stops := s.stops
+	s.stops = map[int]chan struct{}{}
+	watchers := s.watchers
+	s.watchers = nil
+	s.mu.Unlock()
+
+	for _, st := range stops {
+		close(st)
+	}
+	s.cluster.Stop()
+	for _, w := range watchers {
+		close(w.done)
+	}
+}
+
+// startApplier builds a state machine for node id — restored from the
+// node's persisted snapshot if it has one — and pumps its apply channel,
+// compacting the Raft log periodically.
+func (s *Store) startApplier(id int) {
+	node := s.cluster.Node(id)
+	if node == nil {
+		return
+	}
+	sm := newStateMachine()
+	if snap, idx := node.Snapshot(); idx > 0 {
+		sm.restore(snap)
+		s.mu.Lock()
+		if idx > s.lastRev {
+			s.lastRev = idx
+		}
+		s.mu.Unlock()
+	}
+	stop := make(chan struct{})
+	s.mu.Lock()
+	s.sms[id] = sm
+	s.stops[id] = stop
+	s.mu.Unlock()
+	go func() {
+		applied := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case a := <-node.ApplyCh():
+				if a.IsSnapshot {
+					// The leader fast-forwarded this lagging node.
+					sm.restore(a.Snapshot)
+					s.mu.Lock()
+					if a.SnapIndex > s.lastRev {
+						s.lastRev = a.SnapIndex
+					}
+					s.mu.Unlock()
+					applied = 0
+					continue
+				}
+				s.applyEntry(id, sm, a.Entry)
+				applied++
+				s.mu.Lock()
+				threshold := s.compactEvery
+				s.mu.Unlock()
+				if applied >= threshold {
+					_ = node.Compact(a.Entry.Index, sm.serialize())
+					applied = 0
+				}
+			}
+		}
+	}()
+}
+
+// applyEntry applies one committed entry to node id's state machine and
+// completes waiters / watchers exactly once per log index.
+func (s *Store) applyEntry(id int, sm *stateMachine, e raft.Entry) {
+	var cmd command
+	if err := json.Unmarshal(e.Cmd, &cmd); err != nil {
+		return // corrupt entry; deterministic no-op on every node
+	}
+	res := sm.apply(e.Index, cmd)
+
+	s.mu.Lock()
+	// Complete the client waiter (first applier wins; all produce the
+	// same deterministic result).
+	if ch, ok := s.waiters[cmd.ReqID]; ok {
+		delete(s.waiters, cmd.ReqID)
+		select {
+		case ch <- res:
+		default:
+		}
+	}
+	// Deliver watch events exactly once per revision.
+	var fire []Event
+	var targets []*watcher
+	if e.Index > s.lastRev {
+		s.lastRev = e.Index
+		fire = res.events
+		targets = append(targets, s.watchers...)
+	}
+	s.mu.Unlock()
+
+	for _, ev := range fire {
+		for _, w := range targets {
+			if !strings.HasPrefix(ev.Key, w.prefix) {
+				continue
+			}
+			select {
+			case w.ch <- ev:
+			case <-w.done:
+			}
+		}
+	}
+}
+
+// Put stores value under key.
+func (s *Store) Put(key, value string) (rev uint64, err error) {
+	res, err := s.propose(command{Op: opPut, Key: key, Value: value})
+	if err != nil {
+		return 0, fmt.Errorf("put %q: %w", key, err)
+	}
+	return res.rev, nil
+}
+
+// Get returns the value stored under key. found reports existence.
+// The read is linearizable: it is sequenced through the Raft log.
+func (s *Store) Get(key string) (value string, found bool, err error) {
+	res, err := s.propose(command{Op: opGet, Key: key})
+	if err != nil {
+		return "", false, fmt.Errorf("get %q: %w", key, err)
+	}
+	return res.val, res.found, nil
+}
+
+// Delete removes key. It is not an error to delete a missing key.
+func (s *Store) Delete(key string) error {
+	if _, err := s.propose(command{Op: opDelete, Key: key}); err != nil {
+		return fmt.Errorf("delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// CompareAndSwap atomically replaces key's value with newValue iff the
+// current value equals prev (prevExists=false means "key must not
+// exist"). Returns ErrCASFailed when the precondition does not hold.
+func (s *Store) CompareAndSwap(key, prev string, prevExists bool, newValue string) error {
+	res, err := s.propose(command{
+		Op: opCAS, Key: key, Value: newValue, Prev: prev, PrevExists: prevExists,
+	})
+	if err != nil {
+		return fmt.Errorf("cas %q: %w", key, err)
+	}
+	if !res.ok {
+		return ErrCASFailed
+	}
+	return nil
+}
+
+// Range returns all keys under prefix, sorted by key.
+func (s *Store) Range(prefix string) ([]KV, error) {
+	res, err := s.propose(command{Op: opRange, Key: prefix})
+	if err != nil {
+		return nil, fmt.Errorf("range %q: %w", prefix, err)
+	}
+	return res.kvs, nil
+}
+
+// Watch subscribes to changes of keys under prefix. Cancel releases the
+// subscription. Events begin with the first revision applied after the
+// call.
+func (s *Store) Watch(prefix string) (events <-chan Event, cancel func()) {
+	w := &watcher{prefix: prefix, ch: make(chan Event, 128), done: make(chan struct{})}
+	s.mu.Lock()
+	s.watchers = append(s.watchers, w)
+	s.mu.Unlock()
+
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			s.mu.Lock()
+			for i, x := range s.watchers {
+				if x == w {
+					s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			close(w.done)
+		})
+	}
+	return w.ch, cancel
+}
+
+// propose routes cmd through the Raft log and waits for its application.
+func (s *Store) propose(cmd command) (result, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return result{}, ErrClosed
+	}
+	s.reqSeq++
+	cmd.ReqID = fmt.Sprintf("r%d", s.reqSeq)
+	ch := make(chan result, 1)
+	s.waiters[cmd.ReqID] = ch
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.waiters, cmd.ReqID)
+		s.mu.Unlock()
+	}()
+
+	payload, err := json.Marshal(cmd)
+	if err != nil {
+		return result{}, fmt.Errorf("encoding command: %w", err)
+	}
+
+	deadline := s.clk.Now().Add(s.timeout)
+	for s.clk.Now().Before(deadline) {
+		leader := s.cluster.Leader()
+		if leader == nil {
+			s.clk.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if _, _, err := leader.Propose(payload); err != nil {
+			s.clk.Sleep(20 * time.Millisecond)
+			continue
+		}
+		// Wait for apply, but re-propose if leadership changes and the
+		// entry is lost (bounded by the overall deadline).
+		waitUntil := s.clk.Now().Add(500 * time.Millisecond)
+		for s.clk.Now().Before(waitUntil) {
+			select {
+			case res := <-ch:
+				return res, nil
+			default:
+			}
+			s.clk.Sleep(5 * time.Millisecond)
+		}
+		// Not applied yet: either still replicating or lost. Keep the
+		// waiter and retry the propose; dedupe in the state machine
+		// makes retries idempotent.
+		s.mu.Lock()
+		if _, live := s.waiters[cmd.ReqID]; !live {
+			// Applied while we were deciding to retry.
+			s.mu.Unlock()
+			select {
+			case res := <-ch:
+				return res, nil
+			default:
+				return result{}, ErrTimeout
+			}
+		}
+		s.mu.Unlock()
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	default:
+		return result{}, ErrTimeout
+	}
+}
+
+// CrashNode stops raft node id, preserving its durable state.
+func (s *Store) CrashNode(id int) {
+	s.mu.Lock()
+	if st, ok := s.stops[id]; ok {
+		close(st)
+		delete(s.stops, id)
+	}
+	delete(s.sms, id)
+	s.mu.Unlock()
+	s.cluster.Crash(id)
+}
+
+// RestartNode reboots a crashed node; its state machine is rebuilt from
+// the replayed log.
+func (s *Store) RestartNode(id int) {
+	s.cluster.Restart(id)
+	s.startApplier(id)
+}
+
+// Nodes returns the cluster membership.
+func (s *Store) Nodes() []int { return s.cluster.IDs() }
+
+// LeaderID returns the current leader's ID, or -1.
+func (s *Store) LeaderID() int {
+	l := s.cluster.Leader()
+	if l == nil {
+		return -1
+	}
+	return l.ID()
+}
+
+// stateMachine is the deterministic KV automaton each node runs.
+type stateMachine struct {
+	mu    sync.Mutex
+	data  map[string]KV
+	dedup map[string]uint64 // reqID -> applied index
+}
+
+func newStateMachine() *stateMachine {
+	return &stateMachine{
+		data:  make(map[string]KV),
+		dedup: make(map[string]uint64),
+	}
+}
+
+// smSnapshot is the serialized state-machine image stored in Raft
+// snapshots.
+type smSnapshot struct {
+	Data  map[string]KV     `json:"data"`
+	Dedup map[string]uint64 `json:"dedup"`
+}
+
+// serialize captures the full state machine for log compaction.
+func (m *stateMachine) serialize() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := smSnapshot{Data: m.data, Dedup: m.dedup}
+	raw, err := json.Marshal(img)
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// restore replaces the state machine with a serialized image.
+func (m *stateMachine) restore(raw []byte) {
+	var img smSnapshot
+	if err := json.Unmarshal(raw, &img); err != nil {
+		return // corrupt snapshot: keep current state
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = img.Data
+	if m.data == nil {
+		m.data = make(map[string]KV)
+	}
+	m.dedup = img.Dedup
+	if m.dedup == nil {
+		m.dedup = make(map[string]uint64)
+	}
+}
+
+func (m *stateMachine) apply(idx uint64, cmd command) result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Exactly-once: a retried proposal may appear twice in the log; only
+	// the first occurrence mutates state. (Reads are harmless to repeat.)
+	if first, seen := m.dedup[cmd.ReqID]; seen && first != idx {
+		switch cmd.Op {
+		case opPut, opDelete, opCAS:
+			return result{rev: first, ok: true}
+		}
+	}
+	m.dedup[cmd.ReqID] = idx
+
+	res := result{rev: idx}
+	switch cmd.Op {
+	case opPut:
+		m.data[cmd.Key] = KV{Key: cmd.Key, Value: cmd.Value, Rev: idx}
+		res.events = []Event{{Type: EventPut, Key: cmd.Key, Value: cmd.Value, Rev: idx}}
+	case opDelete:
+		if _, ok := m.data[cmd.Key]; ok {
+			delete(m.data, cmd.Key)
+			res.events = []Event{{Type: EventDelete, Key: cmd.Key, Rev: idx}}
+		}
+	case opCAS:
+		cur, exists := m.data[cmd.Key]
+		match := (exists == cmd.PrevExists) && (!exists || cur.Value == cmd.Prev)
+		if match {
+			m.data[cmd.Key] = KV{Key: cmd.Key, Value: cmd.Value, Rev: idx}
+			res.ok = true
+			res.events = []Event{{Type: EventPut, Key: cmd.Key, Value: cmd.Value, Rev: idx}}
+		}
+	case opGet:
+		if kv, ok := m.data[cmd.Key]; ok {
+			res.val, res.found = kv.Value, true
+		}
+	case opRange:
+		for k, kv := range m.data {
+			if strings.HasPrefix(k, cmd.Key) {
+				res.kvs = append(res.kvs, kv)
+			}
+		}
+		sortKVs(res.kvs)
+	}
+	return res
+}
+
+func sortKVs(kvs []KV) {
+	for i := 1; i < len(kvs); i++ {
+		for j := i; j > 0 && kvs[j].Key < kvs[j-1].Key; j-- {
+			kvs[j], kvs[j-1] = kvs[j-1], kvs[j]
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package etcd
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func newTestStore(t *testing.T, n int) (*Store, *clock.Sim) {
+	t.Helper()
+	clk := clock.NewSim()
+	s := New(n, clk)
+	t.Cleanup(func() {
+		s.Close()
+		clk.Close()
+	})
+	return s, clk
+}
+
+func TestPutGet(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	rev, err := s.Put("/jobs/j1/status", "DEPLOYING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev == 0 {
+		t.Fatal("rev = 0, want > 0")
+	}
+	v, found, err := s.Get("/jobs/j1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || v != "DEPLOYING" {
+		t.Fatalf("got (%q,%v), want (DEPLOYING,true)", v, found)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	_, found, err := s.Get("/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	if _, err := s.Put("/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Get("/k"); found {
+		t.Fatal("key survived delete")
+	}
+	// Deleting a missing key is not an error.
+	if err := s.Delete("/k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	// Create-if-absent.
+	if err := s.CompareAndSwap("/lock", "", false, "owner1"); err != nil {
+		t.Fatal(err)
+	}
+	// Second create must fail.
+	err := s.CompareAndSwap("/lock", "", false, "owner2")
+	if !errors.Is(err, ErrCASFailed) {
+		t.Fatalf("err = %v, want ErrCASFailed", err)
+	}
+	// Swap with correct previous value.
+	if err := s.CompareAndSwap("/lock", "owner1", true, "owner3"); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := s.Get("/lock")
+	if v != "owner3" {
+		t.Fatalf("value = %q, want owner3", v)
+	}
+	// Swap with stale previous value fails.
+	err = s.CompareAndSwap("/lock", "owner1", true, "owner4")
+	if !errors.Is(err, ErrCASFailed) {
+		t.Fatalf("err = %v, want ErrCASFailed", err)
+	}
+}
+
+func TestRangePrefix(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	keys := []string{"/jobs/j1/learner/0", "/jobs/j1/learner/1", "/jobs/j2/learner/0"}
+	for i, k := range keys {
+		if _, err := s.Put(k, fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvs, err := s.Range("/jobs/j1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 {
+		t.Fatalf("range size = %d, want 2", len(kvs))
+	}
+	if kvs[0].Key != "/jobs/j1/learner/0" || kvs[1].Key != "/jobs/j1/learner/1" {
+		t.Fatalf("range keys = %v", kvs)
+	}
+}
+
+func TestWatchDeliversEvents(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	events, cancel := s.Watch("/jobs/")
+	defer cancel()
+
+	if _, err := s.Put("/jobs/j1/status", "PROCESSING"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("/other/key", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/jobs/j1/status"); err != nil {
+		t.Fatal(err)
+	}
+
+	ev1 := recvEvent(t, events)
+	if ev1.Type != EventPut || ev1.Key != "/jobs/j1/status" || ev1.Value != "PROCESSING" {
+		t.Fatalf("event 1 = %+v", ev1)
+	}
+	ev2 := recvEvent(t, events)
+	if ev2.Type != EventDelete || ev2.Key != "/jobs/j1/status" {
+		t.Fatalf("event 2 = %+v (want delete, no /other leak)", ev2)
+	}
+	if ev2.Rev <= ev1.Rev {
+		t.Fatalf("revisions not monotone: %d then %d", ev1.Rev, ev2.Rev)
+	}
+}
+
+func recvEvent(t *testing.T, ch <-chan Event) Event {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("no event delivered")
+		return Event{}
+	}
+}
+
+func TestMinorityCrashKeepsServing(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	if _, err := s.Put("/k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash one node (minority): the store must keep serving.
+	s.CrashNode(0)
+	if _, err := s.Put("/k", "v2"); err != nil {
+		t.Fatalf("put with minority crashed: %v", err)
+	}
+	v, found, err := s.Get("/k")
+	if err != nil || !found || v != "v2" {
+		t.Fatalf("get = (%q,%v,%v), want (v2,true,nil)", v, found, err)
+	}
+}
+
+func TestLeaderCrashRecovery(t *testing.T) {
+	s, clk := newTestStore(t, 3)
+	if _, err := s.Put("/k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	lead := s.LeaderID()
+	if lead < 0 {
+		t.Fatal("no leader")
+	}
+	s.CrashNode(lead)
+	// Allow failover, then the store must serve again.
+	deadline := clk.Now().Add(10 * time.Second)
+	var lastErr error
+	for clk.Now().Before(deadline) {
+		if _, lastErr = s.Put("/k", "v2"); lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("store did not recover from leader crash: %v", lastErr)
+	}
+	v, _, _ := s.Get("/k")
+	if v != "v2" {
+		t.Fatalf("value = %q, want v2", v)
+	}
+}
+
+func TestRestartedNodeRejoins(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	s.CrashNode(1)
+	if _, err := s.Put("/k", "while-down"); err != nil {
+		t.Fatal(err)
+	}
+	s.RestartNode(1)
+	// Crash a different node; quorum now depends on the restarted one.
+	s.CrashNode(2)
+	if _, err := s.Put("/k2", "after-rejoin"); err != nil {
+		t.Fatalf("restarted node did not rejoin quorum: %v", err)
+	}
+	v, found, err := s.Get("/k")
+	if err != nil || !found || v != "while-down" {
+		t.Fatalf("get = (%q,%v,%v)", v, found, err)
+	}
+}
+
+func TestStatusUpdateSurvivesCrashes(t *testing.T) {
+	// The paper's scenario: the helper controller records learner
+	// statuses in etcd; crashes of individual etcd replicas must not
+	// lose or reorder status history.
+	s, _ := newTestStore(t, 3)
+	statuses := []string{"DEPLOYING", "PROCESSING", "STORING", "COMPLETED"}
+	for i, st := range statuses {
+		key := fmt.Sprintf("/jobs/j1/learner/0/status/%d", i)
+		if _, err := s.Put(key, st); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			s.CrashNode(2)
+		}
+		if i == 2 {
+			s.RestartNode(2)
+		}
+	}
+	kvs, err := s.Range("/jobs/j1/learner/0/status/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != len(statuses) {
+		t.Fatalf("history size = %d, want %d", len(kvs), len(statuses))
+	}
+	for i, kv := range kvs {
+		if kv.Value != statuses[i] {
+			t.Fatalf("status %d = %q, want %q", i, kv.Value, statuses[i])
+		}
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	s := New(3, clk)
+	s.Close()
+	if _, err := s.Put("/k", "v"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// Property: a sequence of puts to distinct keys is fully readable and
+// Range over the common prefix returns exactly the keys written.
+func TestQuickPutsAreReadable(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	seq := 0
+	f := func(vals []string) bool {
+		if len(vals) > 8 {
+			vals = vals[:8]
+		}
+		prefix := fmt.Sprintf("/q/%d/", seq)
+		seq++
+		for i, v := range vals {
+			if _, err := s.Put(fmt.Sprintf("%sk%d", prefix, i), v); err != nil {
+				return false
+			}
+		}
+		kvs, err := s.Range(prefix)
+		if err != nil || len(kvs) != len(vals) {
+			return false
+		}
+		for i, kv := range kvs {
+			if kv.Value != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package etcd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrLeaseExpired indicates a keep-alive or attach raced lease expiry.
+var ErrLeaseExpired = errors.New("etcd: lease expired")
+
+// Lease is a TTL-bound liveness handle: keys attached to it are deleted
+// when the lease expires without a keep-alive — etcd's standard
+// mechanism for failure detection, used here to let components publish
+// presence that vanishes when they crash.
+type Lease struct {
+	store *Store
+	id    string
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	keys    map[string]bool
+	expired bool
+	timer   interface {
+		Stop() bool
+		Reset(time.Duration)
+	}
+}
+
+// GrantLease creates a lease with the given TTL. The lease must be kept
+// alive with KeepAlive or it expires, deleting every attached key.
+func (s *Store) GrantLease(ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("etcd: lease ttl must be positive, got %v", ttl)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.reqSeq++
+	id := fmt.Sprintf("lease-%d", s.reqSeq)
+	s.mu.Unlock()
+
+	l := &Lease{
+		store: s,
+		id:    id,
+		ttl:   ttl,
+		keys:  make(map[string]bool),
+	}
+	l.timer = s.clk.AfterFunc(ttl, l.expire)
+	return l, nil
+}
+
+// ID returns the lease identity.
+func (l *Lease) ID() string { return l.id }
+
+// PutWithLease stores key=value attached to the lease: the key is
+// deleted automatically when the lease expires.
+func (l *Lease) Put(key, value string) error {
+	l.mu.Lock()
+	if l.expired {
+		l.mu.Unlock()
+		return fmt.Errorf("put %q: %w", key, ErrLeaseExpired)
+	}
+	l.keys[key] = true
+	l.mu.Unlock()
+	if _, err := l.store.Put(key, value); err != nil {
+		return err
+	}
+	return nil
+}
+
+// KeepAlive extends the lease by its TTL. It fails if the lease already
+// expired — the caller must re-establish its presence from scratch, as
+// a recovered component would.
+func (l *Lease) KeepAlive() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.expired {
+		return ErrLeaseExpired
+	}
+	l.timer.Stop()
+	l.timer.Reset(l.ttl)
+	return nil
+}
+
+// Revoke expires the lease immediately, deleting attached keys.
+func (l *Lease) Revoke() {
+	l.expire()
+}
+
+// Expired reports whether the lease has expired.
+func (l *Lease) Expired() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.expired
+}
+
+// expire deletes every attached key through the replicated log.
+func (l *Lease) expire() {
+	l.mu.Lock()
+	if l.expired {
+		l.mu.Unlock()
+		return
+	}
+	l.expired = true
+	l.timer.Stop()
+	keys := make([]string, 0, len(l.keys))
+	for k := range l.keys {
+		keys = append(keys, k)
+	}
+	l.mu.Unlock()
+
+	for _, k := range keys {
+		_ = l.store.Delete(k) // best effort: store may be closing
+	}
+}

@@ -1,0 +1,112 @@
+package etcd
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLeaseKeysExpire(t *testing.T) {
+	s, clk := newTestStore(t, 3)
+	lease, err := s.GrantLease(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Put("/presence/controller", "alive"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Get("/presence/controller"); !found {
+		t.Fatal("leased key not stored")
+	}
+	// Let the lease lapse without keep-alive.
+	deadline := clk.Now().Add(30 * time.Second)
+	for clk.Now().Before(deadline) {
+		if _, found, _ := s.Get("/presence/controller"); !found {
+			if !lease.Expired() {
+				t.Fatal("key deleted but lease not expired")
+			}
+			return
+		}
+		clk.Sleep(200 * time.Millisecond)
+	}
+	t.Fatal("leased key survived expiry")
+}
+
+func TestLeaseKeepAliveExtends(t *testing.T) {
+	s, clk := newTestStore(t, 3)
+	lease, err := s.GrantLease(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Put("/presence/x", "alive"); err != nil {
+		t.Fatal(err)
+	}
+	// Keep alive well past several TTLs.
+	for k := 0; k < 5; k++ {
+		clk.Sleep(time.Second)
+		if err := lease.KeepAlive(); err != nil {
+			t.Fatalf("keepalive %d: %v", k, err)
+		}
+	}
+	if _, found, _ := s.Get("/presence/x"); !found {
+		t.Fatal("key expired despite keep-alives")
+	}
+}
+
+func TestLeaseRevoke(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	lease, err := s.GrantLease(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Put("/k1", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Put("/k2", "v"); err != nil {
+		t.Fatal(err)
+	}
+	lease.Revoke()
+	for _, k := range []string{"/k1", "/k2"} {
+		if _, found, _ := s.Get(k); found {
+			t.Fatalf("key %s survived revoke", k)
+		}
+	}
+	if err := lease.KeepAlive(); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("keepalive after revoke = %v, want ErrLeaseExpired", err)
+	}
+	if err := lease.Put("/k3", "v"); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("put after revoke = %v, want ErrLeaseExpired", err)
+	}
+}
+
+func TestLeaseInvalidTTL(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	if _, err := s.GrantLease(0); err == nil {
+		t.Fatal("zero TTL accepted")
+	}
+	if _, err := s.GrantLease(-time.Second); err == nil {
+		t.Fatal("negative TTL accepted")
+	}
+}
+
+func TestLeaseDoesNotTouchUnleasedKeys(t *testing.T) {
+	s, clk := newTestStore(t, 3)
+	if _, err := s.Put("/durable", "v"); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := s.GrantLease(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Put("/ephemeral", "v"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(5 * time.Second)
+	deadline := clk.Now().Add(20 * time.Second)
+	for clk.Now().Before(deadline) && !lease.Expired() {
+		clk.Sleep(200 * time.Millisecond)
+	}
+	if _, found, _ := s.Get("/durable"); !found {
+		t.Fatal("unleased key deleted by lease expiry")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Fig. 2 shape: the paper reports 0.32%-5.88% platform overhead with no
+// monotone trend in GPU count — small, noisy, always nonnegative.
+func TestFig2Shape(t *testing.T) {
+	rows := Fig2(1)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.DiffPercent < 0 || r.DiffPercent > 9 {
+			t.Errorf("%s/%s x%d overhead = %.2f%%, want [0,9]",
+				r.Benchmark, r.Framework, r.GPUs, r.DiffPercent)
+		}
+		if r.DLaaS >= r.Bare {
+			t.Errorf("%s x%d DLaaS (%.1f) not slower than bare (%.1f)",
+				r.Benchmark, r.GPUs, r.DLaaS, r.Bare)
+		}
+	}
+	// The overhead must look like noise, not a scaling wall: the 4-GPU
+	// overhead should stay in the same band as 1-GPU, not explode.
+	for _, model := range []string{"VGG-16", "InceptionV3"} {
+		var one, four float64
+		for _, r := range rows {
+			if r.Benchmark != model {
+				continue
+			}
+			if r.GPUs == 1 {
+				one = r.DiffPercent
+			}
+			if r.GPUs == 4 {
+				four = r.DiffPercent
+			}
+		}
+		if four > one+8 {
+			t.Errorf("%s: overhead grows like a wall: 1 GPU %.2f%% -> 4 GPU %.2f%%", model, one, four)
+		}
+	}
+}
+
+// Fig. 3 shape: the paper reports 3.30%-13.69% degradation vs DGX-1,
+// growing with GPU count, and at 2 GPUs ordered VGG > ResNet > Inception.
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3(1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.DiffPercent <= 0 || r.DiffPercent > 20 {
+			t.Errorf("%s x%d diff = %.2f%%, want (0,20]", r.Benchmark, r.GPUs, r.DiffPercent)
+		}
+		byKey[r.Benchmark+string(rune('0'+r.GPUs))] = r.DiffPercent
+	}
+	// Gap grows with GPU count for every model.
+	for _, m := range []string{"VGG-16", "Resnet-50", "InceptionV3"} {
+		if byKey[m+"2"] <= byKey[m+"1"] {
+			t.Errorf("%s: 2-GPU gap (%.2f%%) not larger than 1-GPU (%.2f%%)",
+				m, byKey[m+"2"], byKey[m+"1"])
+		}
+	}
+	// At 2 GPUs the communication-heavy model suffers most.
+	if !(byKey["VGG-162"] > byKey["Resnet-502"]) {
+		t.Errorf("2-GPU ordering: VGG (%.2f%%) should exceed ResNet (%.2f%%)",
+			byKey["VGG-162"], byKey["Resnet-502"])
+	}
+}
+
+func TestFig2Deterministic(t *testing.T) {
+	a, b := Fig2(7), Fig2(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical runs", i)
+		}
+	}
+	// A different seed perturbs the noise.
+	c := Fig2(8)
+	same := true
+	for i := range a {
+		if a[i].DiffPercent != c[i].DiffPercent {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	f2 := FormatFig2(Fig2(1))
+	if !strings.Contains(f2, "VGG-16") || !strings.Contains(f2, "Diff (%)") {
+		t.Fatalf("fig2 table malformed:\n%s", f2)
+	}
+	f3 := FormatFig3(Fig3(1))
+	if !strings.Contains(f3, "P100") {
+		t.Fatalf("fig3 table malformed:\n%s", f3)
+	}
+	f4 := FormatFig4([]Fig4Row{{Component: "API", Min: 3 * time.Second, Max: 5 * time.Second}})
+	if !strings.Contains(f4, "API") || !strings.Contains(f4, "3.0-5.0s") {
+		t.Fatalf("fig4 table malformed:\n%s", f4)
+	}
+}
+
+// Fig. 4 shape: recovery ordering Guardian < API <= LCM < Learner, with
+// the learner slowest (object-store + NFS re-binding plus framework
+// image start). This is the full-platform experiment, so it runs the
+// whole stack once.
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-platform experiment")
+	}
+	rows, err := Fig4(Fig4Options{SamplesPerComponent: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig4Row{}
+	for _, r := range rows {
+		byName[r.Component] = r
+		if r.Min <= 0 || r.Max < r.Min {
+			t.Errorf("%s: bad range %v-%v", r.Component, r.Min, r.Max)
+		}
+	}
+	if len(byName) != 5 {
+		t.Fatalf("components = %v", byName)
+	}
+	if !(byName["Guardian"].Max < byName["API"].Min) {
+		t.Errorf("Guardian (%v) should recover faster than API (%v)",
+			byName["Guardian"].Max, byName["API"].Min)
+	}
+	if !(byName["API"].Min <= byName["LCM"].Max) {
+		t.Errorf("API (%v) should not be slower than LCM (%v)",
+			byName["API"].Min, byName["LCM"].Max)
+	}
+	if !(byName["Learner"].Min > byName["LCM"].Max) {
+		t.Errorf("Learner (%v) should be the slowest (LCM %v)",
+			byName["Learner"].Min, byName["LCM"].Max)
+	}
+	// Learner recovery lands in the paper's 10-20s band (the one range
+	// wide enough to assert absolutely).
+	if byName["Learner"].Min < 8*time.Second || byName["Learner"].Max > 25*time.Second {
+		t.Errorf("Learner recovery %v-%v outside plausible band",
+			byName["Learner"].Min, byName["Learner"].Max)
+	}
+}

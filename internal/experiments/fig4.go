@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	dlaas "repro"
+
+	"repro/internal/chaos"
+)
+
+// Fig4Options configure the crash-recovery experiment.
+type Fig4Options struct {
+	// SamplesPerComponent is how many crash/recover cycles to measure
+	// per component (the paper reports a min-max range).
+	SamplesPerComponent int
+	// Seed controls timing jitter.
+	Seed int64
+}
+
+func (o Fig4Options) withDefaults() Fig4Options {
+	if o.SamplesPerComponent <= 0 {
+		o.SamplesPerComponent = 3
+	}
+	return o
+}
+
+// Fig4 reproduces the component crash-recovery experiment: boot the full
+// platform, run a long training job, kill each component with the chaos
+// injector, and measure virtual time until the component is back. Rows
+// come back in the paper's order: API, LCM, Guardian, Helper, Learner.
+func Fig4(opts Fig4Options) ([]Fig4Row, error) {
+	opts = opts.withDefaults()
+	p, err := dlaas.New(dlaas.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("fig4: booting platform: %w", err)
+	}
+	defer p.Close()
+
+	// Stage a long-running training job so the per-job components
+	// (Guardian, Helper, Learner) exist throughout the experiment.
+	client := p.Client("bench")
+	creds := dlaas.Credentials{AccessKey: "bench", SecretKey: "bench-secret"}
+	data, err := p.CreateDataset("bench-data", "train/imagenet.rec", 4<<30, creds)
+	if err != nil {
+		return nil, err
+	}
+	results, err := p.CreateResultsBucket("bench-results", creds)
+	if err != nil {
+		return nil, err
+	}
+	id, err := client.Submit(&dlaas.Manifest{
+		Name:               "fig4-victim",
+		Framework:          "tensorflow",
+		Model:              "resnet50",
+		Learners:           1,
+		GPUsPerLearner:     1,
+		BatchPerGPU:        32,
+		Epochs:             10,
+		DatasetImages:      500000, // hours of training: survives all injections
+		TrainingData:       data,
+		Results:            results,
+		CheckpointInterval: 5 * time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := client.WaitForState(id, dlaas.StateProcessing, 2*time.Hour); err != nil {
+		return nil, fmt.Errorf("fig4: victim job never trained: %w", err)
+	}
+
+	inj := p.Chaos()
+	components := []struct {
+		name     string
+		selector map[string]string
+		timeout  time.Duration
+	}{
+		{"API", map[string]string{"app": "dlaas-api"}, 2 * time.Minute},
+		{"LCM", map[string]string{"app": "dlaas-lcm"}, 2 * time.Minute},
+		{"Guardian", map[string]string{"app": "dlaas-guardian", "job": id}, 2 * time.Minute},
+		{"Helper", map[string]string{"app": "dlaas-helper", "job": id}, 2 * time.Minute},
+		{"Learner", map[string]string{"app": "dlaas-learner", "job": id}, 5 * time.Minute},
+	}
+
+	rows := make([]Fig4Row, 0, len(components))
+	for _, comp := range components {
+		samples, err := inj.Sample(opts.SamplesPerComponent, 5*time.Second, func() (time.Duration, error) {
+			return inj.MeasurePodRecovery(comp.selector, comp.timeout)
+		})
+		if err != nil {
+			return rows, fmt.Errorf("fig4: measuring %s: %w", comp.name, err)
+		}
+		lo, hi := chaos.MinMax(samples)
+		rows = append(rows, Fig4Row{Component: comp.name, Min: lo, Max: hi, Samples: samples})
+	}
+	return rows, nil
+}

@@ -1,0 +1,101 @@
+// Package gpu catalogs the GPU hardware in the paper's evaluation: the
+// PCIe-attached Tesla K80 and P100 used by DLaaS on IBM Cloud, and the
+// SXM2/NVLink P100 inside the NVIDIA DGX-1 comparison system. The specs
+// feed the analytic training-performance model in internal/trainsim.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Spec describes a GPU type.
+type Spec struct {
+	// Name identifies the card, e.g. "K80".
+	Name string
+	// TFLOPS is effective single-precision throughput.
+	TFLOPS float64
+	// MemGB is device memory capacity.
+	MemGB float64
+	// MemBW is device memory bandwidth.
+	MemBW netsim.Bandwidth
+	// HostLink is the fabric used for inter-GPU gradient exchange on
+	// this platform (PCIe for cloud servers, NVLink on DGX-1).
+	HostLink netsim.Link
+	// ComputeBoost captures higher sustained clocks of the SXM2 form
+	// factor relative to the PCIe card (1.0 = PCIe baseline).
+	ComputeBoost float64
+}
+
+// EffectiveTFLOPS returns the boost-adjusted compute rate.
+func (s Spec) EffectiveTFLOPS() float64 { return s.TFLOPS * s.ComputeBoost }
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%.1fTF,%s)", s.Name, s.EffectiveTFLOPS(), s.HostLink.Name)
+}
+
+// Catalog of the paper's GPUs.
+var (
+	// K80 is the Kepler-class PCIe accelerator in the Fig. 2 experiments
+	// (per-GPU, i.e. one GK210 die of the dual-die card).
+	K80 = Spec{
+		Name:         "K80",
+		TFLOPS:       2.9,
+		MemGB:        12,
+		MemBW:        240 * netsim.GBps,
+		HostLink:     netsim.PCIe3x16,
+		ComputeBoost: 1.0,
+	}
+
+	// P100 is the PCIe Pascal card in the Fig. 3 DLaaS configuration.
+	P100 = Spec{
+		Name:         "P100",
+		TFLOPS:       9.3,
+		MemGB:        16,
+		MemBW:        720 * netsim.GBps,
+		HostLink:     netsim.PCIe3x16,
+		ComputeBoost: 1.0,
+	}
+
+	// P100SXM2 is the NVLink-attached P100 inside the DGX-1. Its higher
+	// sustained clocks give a single-GPU advantage over the PCIe card
+	// (a few percent in practice despite the larger spec-sheet gap,
+	// since training is partly memory-bound) on top of the NVLink
+	// multi-GPU advantage.
+	P100SXM2 = Spec{
+		Name:         "P100-SXM2",
+		TFLOPS:       9.3,
+		MemGB:        16,
+		MemBW:        720 * netsim.GBps,
+		HostLink:     netsim.NVLinkV1,
+		ComputeBoost: 1.03,
+	}
+
+	// V100 is included for forward-looking sweeps beyond the paper.
+	V100 = Spec{
+		Name:         "V100",
+		TFLOPS:       14.0,
+		MemGB:        32,
+		MemBW:        900 * netsim.GBps,
+		HostLink:     netsim.NVLinkV1,
+		ComputeBoost: 1.0,
+	}
+)
+
+// ByName resolves a catalog GPU. ok reports whether the name is known.
+func ByName(name string) (Spec, bool) {
+	switch name {
+	case "K80", "k80":
+		return K80, true
+	case "P100", "p100":
+		return P100, true
+	case "P100-SXM2", "p100-sxm2", "DGX-1", "dgx-1":
+		return P100SXM2, true
+	case "V100", "v100":
+		return V100, true
+	default:
+		return Spec{}, false
+	}
+}

@@ -1,0 +1,541 @@
+package kube
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/nfs"
+)
+
+// Common errors.
+var (
+	// ErrPodExists indicates a pod name collision.
+	ErrPodExists = errors.New("kube: pod already exists")
+	// ErrNoPod indicates the pod does not exist.
+	ErrNoPod = errors.New("kube: no such pod")
+	// ErrNoNode indicates the node does not exist.
+	ErrNoNode = errors.New("kube: no such node")
+	// ErrStopped indicates the cluster has been shut down.
+	ErrStopped = errors.New("kube: cluster stopped")
+)
+
+// Timing models the latency of control-plane and node operations. The
+// defaults are calibrated so that component recovery times land in the
+// paper's Fig. 4 ranges.
+type Timing struct {
+	// Schedule is the scheduler's decision latency per pod.
+	Schedule time.Duration
+	// ContainerCreate is the container runtime setup cost (cached
+	// image, cgroups, virtual network).
+	ContainerCreate time.Duration
+	// VolumeBind is the PVC/NFS mount cost per volume.
+	VolumeBind time.Duration
+	// ObjectStoreBind is the cloud object-store credential/mount cost
+	// for pods that stream training data.
+	ObjectStoreBind time.Duration
+	// ControllerReact is the watch-to-action latency of controllers.
+	ControllerReact time.Duration
+	// CrashBackoffBase is the in-place restart backoff after repeated
+	// container crashes (the first restart is immediate, as in
+	// Kubernetes before CrashLoopBackOff engages).
+	CrashBackoffBase time.Duration
+	// JitterFraction randomizes each delay by ±fraction.
+	JitterFraction float64
+}
+
+// DefaultTiming returns the calibrated simulation constants.
+func DefaultTiming() Timing {
+	return Timing{
+		Schedule:         100 * time.Millisecond,
+		ContainerCreate:  400 * time.Millisecond,
+		VolumeBind:       700 * time.Millisecond,
+		ObjectStoreBind:  3 * time.Second,
+		ControllerReact:  200 * time.Millisecond,
+		CrashBackoffBase: 10 * time.Second,
+		JitterFraction:   0.15,
+	}
+}
+
+// SchedulingPolicy selects the placement strategy.
+type SchedulingPolicy int
+
+// Placement strategies.
+const (
+	// PolicyBinPack fills nodes in name order, maximizing utilization —
+	// the default for expensive GPU fleets.
+	PolicyBinPack SchedulingPolicy = iota
+	// PolicySpread places pods on the node with the most free GPUs,
+	// minimizing the blast radius of a node failure (a dependability /
+	// utilization tradeoff).
+	PolicySpread
+)
+
+// String implements fmt.Stringer.
+func (p SchedulingPolicy) String() string {
+	switch p {
+	case PolicyBinPack:
+		return "binpack"
+	case PolicySpread:
+		return "spread"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config configures a simulated cluster.
+type Config struct {
+	// Clock drives every delay. Required.
+	Clock clock.Clock
+	// NFS optionally provides the shared-volume server used by PVCs.
+	NFS *nfs.Server
+	// Timing overrides DefaultTiming when non-zero.
+	Timing Timing
+	// Scheduling selects the placement strategy (default PolicyBinPack).
+	Scheduling SchedulingPolicy
+	// Seed makes delay jitter reproducible.
+	Seed int64
+}
+
+// Cluster is the simulated Kubernetes control plane plus its nodes.
+type Cluster struct {
+	clk    clock.Clock
+	nfs    *nfs.Server
+	timing Timing
+	policy SchedulingPolicy
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nodes    map[string]*Node
+	pods     map[string]*Pod
+	policies map[string]*NetworkPolicy
+	watchers []*watchSub
+	nameSeq  uint64
+	stopped  bool
+
+	ctrl *controllerManager
+	reg  *registry
+}
+
+// Node is a worker machine with GPU capacity.
+type Node struct {
+	Spec NodeSpec
+
+	mu       sync.Mutex
+	freeGPUs int
+	down     bool
+	cordoned bool
+}
+
+// Cordoned reports whether the node is excluded from scheduling.
+func (n *Node) Cordoned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cordoned
+}
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// FreeGPUs reports currently unallocated GPUs.
+func (n *Node) FreeGPUs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeGPUs
+}
+
+type watchSub struct {
+	ch   chan Event
+	done chan struct{}
+}
+
+// NewCluster creates a cluster with the given worker nodes.
+func NewCluster(cfg Config, nodes ...NodeSpec) *Cluster {
+	if cfg.Clock == nil {
+		panic("kube: Config.Clock is required")
+	}
+	t := cfg.Timing
+	if t == (Timing{}) {
+		t = DefaultTiming()
+	}
+	c := &Cluster{
+		clk:      cfg.Clock,
+		nfs:      cfg.NFS,
+		timing:   t,
+		policy:   cfg.Scheduling,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		nodes:    make(map[string]*Node),
+		pods:     make(map[string]*Pod),
+		policies: make(map[string]*NetworkPolicy),
+	}
+	for _, ns := range nodes {
+		c.nodes[ns.Name] = &Node{Spec: ns, freeGPUs: ns.GPUs}
+	}
+	c.ctrl = newControllerManager(c)
+	c.reg = newRegistry()
+	return c
+}
+
+// Clock returns the cluster's time source.
+func (c *Cluster) Clock() clock.Clock { return c.clk }
+
+// NFS returns the shared-volume server, if configured.
+func (c *Cluster) NFS() *nfs.Server { return c.nfs }
+
+// Stop terminates all pods and controllers.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	pods := make([]*Pod, 0, len(c.pods))
+	for _, p := range c.pods {
+		pods = append(pods, p)
+	}
+	watchers := c.watchers
+	c.watchers = nil
+	c.mu.Unlock()
+
+	c.ctrl.stop()
+	for _, p := range pods {
+		p.kill(killDelete)
+	}
+	for _, w := range watchers {
+		close(w.done)
+	}
+}
+
+// Watch subscribes to pod lifecycle events.
+func (c *Cluster) Watch() (events <-chan Event, cancel func()) {
+	w := &watchSub{ch: make(chan Event, 1024), done: make(chan struct{})}
+	c.mu.Lock()
+	c.watchers = append(c.watchers, w)
+	c.mu.Unlock()
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			c.mu.Lock()
+			for i, x := range c.watchers {
+				if x == w {
+					c.watchers = append(c.watchers[:i], c.watchers[i+1:]...)
+					break
+				}
+			}
+			c.mu.Unlock()
+			close(w.done)
+		})
+	}
+	return w.ch, cancel
+}
+
+func (c *Cluster) emit(ev Event) {
+	ev.Time = c.clk.Now()
+	c.mu.Lock()
+	watchers := make([]*watchSub, len(c.watchers))
+	copy(watchers, c.watchers)
+	c.mu.Unlock()
+	for _, w := range watchers {
+		select {
+		case w.ch <- ev:
+		case <-w.done:
+		}
+	}
+}
+
+// jitter scales d by 1±JitterFraction using the cluster RNG.
+func (c *Cluster) jitter(d time.Duration) time.Duration {
+	if c.timing.JitterFraction <= 0 || d <= 0 {
+		return d
+	}
+	c.mu.Lock()
+	f := 1 + (c.rng.Float64()*2-1)*c.timing.JitterFraction
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// nextName generates a unique suffixed pod name.
+func (c *Cluster) nextName(base string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nameSeq++
+	return fmt.Sprintf("%s-%05d", base, c.nameSeq)
+}
+
+// CreatePod instantiates spec directly (no controller). The returned pod
+// is scheduled and started asynchronously.
+func (c *Cluster) CreatePod(spec PodSpec) (*Pod, error) {
+	return c.createPodOwned(spec, nil)
+}
+
+func (c *Cluster) createPodOwned(spec PodSpec, owner ownerRef) (*Pod, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if _, exists := c.pods[spec.Name]; exists {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("creating pod %q: %w", spec.Name, ErrPodExists)
+	}
+	p := newPod(c, spec.clone(), owner)
+	c.pods[spec.Name] = p
+	c.mu.Unlock()
+
+	c.emit(Event{Type: EventAdded, Pod: spec.Name, Phase: PodPending})
+	go p.run()
+	return p, nil
+}
+
+// Pod returns the named pod, or nil.
+func (c *Cluster) Pod(name string) *Pod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pods[name]
+}
+
+// Pods returns all pods matching the label selector (nil matches all),
+// sorted by name.
+func (c *Cluster) Pods(selector map[string]string) []*Pod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Pod
+	for _, p := range c.pods {
+		if labelsMatch(p.Spec.Labels, selector) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// DeletePod removes the pod (kubectl delete pod). Controllers owning the
+// pod will create a replacement.
+func (c *Cluster) DeletePod(name string) error {
+	c.mu.Lock()
+	p := c.pods[name]
+	c.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("deleting pod %q: %w", name, ErrNoPod)
+	}
+	p.kill(killDelete)
+	return nil
+}
+
+// CrashContainer kills the named container's process in place (exit 137).
+// The kubelet restarts it according to the pod's restart policy.
+func (c *Cluster) CrashContainer(podName, containerName string) error {
+	c.mu.Lock()
+	p := c.pods[podName]
+	c.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("crashing container %s/%s: %w", podName, containerName, ErrNoPod)
+	}
+	return p.crashContainer(containerName)
+}
+
+// CrashNode fails the node: all its pods terminate as Failed and its
+// capacity is withdrawn until RestartNode.
+func (c *Cluster) CrashNode(name string) error {
+	c.mu.Lock()
+	n := c.nodes[name]
+	if n == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("crashing node %q: %w", name, ErrNoNode)
+	}
+	var victims []*Pod
+	for _, p := range c.pods {
+		if p.nodeName() == name {
+			victims = append(victims, p)
+		}
+	}
+	c.mu.Unlock()
+
+	n.mu.Lock()
+	n.down = true
+	n.mu.Unlock()
+	for _, p := range victims {
+		p.kill(killNodeFailure)
+	}
+	return nil
+}
+
+// RestartNode brings a crashed node back with full capacity.
+func (c *Cluster) RestartNode(name string) error {
+	c.mu.Lock()
+	n := c.nodes[name]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("restarting node %q: %w", name, ErrNoNode)
+	}
+	n.mu.Lock()
+	n.down = false
+	n.freeGPUs = n.Spec.GPUs
+	n.mu.Unlock()
+	return nil
+}
+
+// FreeGPUs returns the cluster's aggregate unallocated GPU count for
+// the given type ("" = any), across live schedulable nodes. Controllers
+// use it for gang-capacity checks before creating multi-pod workloads.
+func (c *Cluster) FreeGPUs(gpuType string) int {
+	total := 0
+	for _, n := range c.Nodes() {
+		n.mu.Lock()
+		if !n.down && !n.cordoned && (gpuType == "" || n.Spec.GPUType == gpuType) {
+			total += n.freeGPUs
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// CordonNode marks the node unschedulable without disturbing its pods
+// (kubectl cordon) — the maintenance primitive complementing crash
+// recovery.
+func (c *Cluster) CordonNode(name string) error {
+	c.mu.Lock()
+	n := c.nodes[name]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("cordoning node %q: %w", name, ErrNoNode)
+	}
+	n.mu.Lock()
+	n.cordoned = true
+	n.mu.Unlock()
+	return nil
+}
+
+// UncordonNode makes the node schedulable again.
+func (c *Cluster) UncordonNode(name string) error {
+	c.mu.Lock()
+	n := c.nodes[name]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("uncordoning node %q: %w", name, ErrNoNode)
+	}
+	n.mu.Lock()
+	n.cordoned = false
+	n.mu.Unlock()
+	return nil
+}
+
+// DrainNode cordons the node and evicts its pods (kubectl drain); the
+// pods' controllers recreate them on other nodes.
+func (c *Cluster) DrainNode(name string) error {
+	if err := c.CordonNode(name); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	var victims []*Pod
+	for _, p := range c.pods {
+		if p.nodeName() == name {
+			victims = append(victims, p)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range victims {
+		p.kill(killDelete)
+	}
+	return nil
+}
+
+// Nodes returns the cluster's nodes sorted by name.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// schedule reserves capacity for spec on a node according to the
+// cluster's placement policy. It returns nil when nothing fits.
+func (c *Cluster) schedule(spec PodSpec) *Node {
+	fits := func(n *Node) bool {
+		return !n.down && !n.cordoned &&
+			n.freeGPUs >= spec.GPUs &&
+			(spec.GPUType == "" || spec.GPUType == n.Spec.GPUType)
+	}
+	nodes := c.Nodes()
+	var chosen *Node
+	switch c.policy {
+	case PolicySpread:
+		// Most free GPUs first: minimize co-located workloads.
+		best := -1
+		for _, n := range nodes {
+			n.mu.Lock()
+			if fits(n) && n.freeGPUs > best {
+				best = n.freeGPUs
+				chosen = n
+			}
+			n.mu.Unlock()
+		}
+	default: // PolicyBinPack
+		for _, n := range nodes {
+			n.mu.Lock()
+			ok := fits(n)
+			n.mu.Unlock()
+			if ok {
+				chosen = n
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		return nil
+	}
+	chosen.mu.Lock()
+	defer chosen.mu.Unlock()
+	// Re-check under the lock: another pod may have taken the capacity.
+	if !fits(chosen) {
+		return nil
+	}
+	chosen.freeGPUs -= spec.GPUs
+	return chosen
+}
+
+// release returns a pod's GPU reservation to its node.
+func (c *Cluster) release(n *Node, spec PodSpec) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	if !n.down {
+		n.freeGPUs += spec.GPUs
+		if n.freeGPUs > n.Spec.GPUs {
+			n.freeGPUs = n.Spec.GPUs
+		}
+	}
+	n.mu.Unlock()
+}
+
+// forget removes a terminal pod from the registry (kubelet GC).
+func (c *Cluster) forget(p *Pod) {
+	c.mu.Lock()
+	if cur, ok := c.pods[p.Name()]; ok && cur == p {
+		delete(c.pods, p.Name())
+	}
+	c.mu.Unlock()
+}
+
+func labelsMatch(labels, selector map[string]string) bool {
+	for k, v := range selector {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,505 @@
+package kube
+
+import (
+	"fmt"
+	"sync"
+)
+
+// controllerManager tracks controller liveness so cluster shutdown can
+// stop reconciliation before killing pods.
+type controllerManager struct {
+	mu      sync.Mutex
+	stopped bool
+}
+
+func newControllerManager(*Cluster) *controllerManager {
+	return &controllerManager{}
+}
+
+func (m *controllerManager) stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+}
+
+func (m *controllerManager) running() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.stopped
+}
+
+// ---------------------------------------------------------------------
+// Deployment: keep N interchangeable replicas alive (DLaaS microservices
+// like the API and LCM run as Deployments).
+
+// Deployment reconciles a replica count of a pod template.
+type Deployment struct {
+	cluster  *Cluster
+	name     string
+	template PodSpec
+
+	mu       sync.Mutex
+	replicas int
+	pods     map[string]*Pod
+	stopped  bool
+}
+
+var _ ownerRef = (*Deployment)(nil)
+
+// CreateDeployment starts a deployment with the given replica count.
+func (c *Cluster) CreateDeployment(name string, replicas int, template PodSpec) (*Deployment, error) {
+	d := &Deployment{
+		cluster:  c,
+		name:     name,
+		template: template,
+		replicas: replicas,
+		pods:     make(map[string]*Pod),
+	}
+	for i := 0; i < replicas; i++ {
+		if err := d.createReplica(); err != nil {
+			return nil, fmt.Errorf("deployment %s: %w", name, err)
+		}
+	}
+	c.reg.mu.Lock()
+	c.reg.deployments[name] = d
+	c.reg.mu.Unlock()
+	return d, nil
+}
+
+// Name returns the deployment name.
+func (d *Deployment) Name() string { return d.name }
+
+// PodNames returns the names of the live replicas, sorted.
+func (d *Deployment) PodNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.pods))
+	for n := range d.pods {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Scale changes the desired replica count.
+func (d *Deployment) Scale(n int) error {
+	d.mu.Lock()
+	d.replicas = n
+	var excess []*Pod
+	remove := len(d.pods) - n
+	for name, p := range d.pods {
+		if len(excess) >= remove {
+			break
+		}
+		excess = append(excess, p)
+		delete(d.pods, name)
+	}
+	d.mu.Unlock()
+	for _, p := range excess {
+		p.kill(killDelete)
+	}
+	for {
+		d.mu.Lock()
+		need := d.replicas - len(d.pods)
+		d.mu.Unlock()
+		if need <= 0 {
+			return nil
+		}
+		if err := d.createReplica(); err != nil {
+			return err
+		}
+	}
+}
+
+// Delete stops reconciliation and kills the replicas.
+func (d *Deployment) Delete() {
+	d.mu.Lock()
+	d.stopped = true
+	pods := make([]*Pod, 0, len(d.pods))
+	for _, p := range d.pods {
+		pods = append(pods, p)
+	}
+	d.pods = map[string]*Pod{}
+	d.mu.Unlock()
+	for _, p := range pods {
+		p.kill(killDelete)
+	}
+}
+
+func (d *Deployment) createReplica() error {
+	spec := d.template.clone()
+	spec.Name = d.cluster.nextName(d.name)
+	p, err := d.cluster.createPodOwned(spec, d)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		p.kill(killDelete)
+		return nil
+	}
+	d.pods[spec.Name] = p
+	d.mu.Unlock()
+	return nil
+}
+
+// podTerminated implements ownerRef: replace lost replicas.
+func (d *Deployment) podTerminated(p *Pod, _ PodPhase) {
+	d.mu.Lock()
+	owned := d.pods[p.Name()] == p
+	if owned {
+		delete(d.pods, p.Name())
+	}
+	need := owned && !d.stopped && len(d.pods) < d.replicas
+	d.mu.Unlock()
+	if !need || !d.cluster.ctrl.running() {
+		return
+	}
+	go func() {
+		d.cluster.clk.Sleep(d.cluster.jitter(d.cluster.timing.ControllerReact))
+		d.mu.Lock()
+		stillNeed := !d.stopped && len(d.pods) < d.replicas
+		d.mu.Unlock()
+		if stillNeed {
+			_ = d.createReplica() // cluster shutdown is the only failure
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// StatefulSet: replicas with stable identities name-0..name-N-1 (DLaaS
+// learners, so a restarted learner keeps its ordinal and can rejoin
+// distributed training).
+
+// StatefulSet reconciles ordinal-named replicas.
+type StatefulSet struct {
+	cluster  *Cluster
+	name     string
+	template PodSpec
+
+	mu       sync.Mutex
+	replicas int
+	pods     map[int]*Pod
+	stopped  bool
+}
+
+var _ ownerRef = (*StatefulSet)(nil)
+
+// CreateStatefulSet starts a stateful set with stable pod names
+// "<name>-<ordinal>".
+func (c *Cluster) CreateStatefulSet(name string, replicas int, template PodSpec) (*StatefulSet, error) {
+	s := &StatefulSet{
+		cluster:  c,
+		name:     name,
+		template: template,
+		replicas: replicas,
+		pods:     make(map[int]*Pod),
+	}
+	for i := 0; i < replicas; i++ {
+		if err := s.createOrdinal(i); err != nil {
+			return nil, fmt.Errorf("statefulset %s: %w", name, err)
+		}
+	}
+	c.reg.mu.Lock()
+	c.reg.statefulSets[name] = s
+	c.reg.mu.Unlock()
+	return s, nil
+}
+
+// Name returns the set's name.
+func (s *StatefulSet) Name() string { return s.name }
+
+// PodName returns the stable name of ordinal i.
+func (s *StatefulSet) PodName(i int) string { return fmt.Sprintf("%s-%d", s.name, i) }
+
+// Pods returns the live replicas keyed by ordinal.
+func (s *StatefulSet) Pods() map[int]*Pod {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]*Pod, len(s.pods))
+	for k, v := range s.pods {
+		out[k] = v
+	}
+	return out
+}
+
+// Delete stops reconciliation and kills the replicas.
+func (s *StatefulSet) Delete() {
+	s.mu.Lock()
+	s.stopped = true
+	pods := make([]*Pod, 0, len(s.pods))
+	for _, p := range s.pods {
+		pods = append(pods, p)
+	}
+	s.pods = map[int]*Pod{}
+	s.mu.Unlock()
+	for _, p := range pods {
+		p.kill(killDelete)
+	}
+}
+
+func (s *StatefulSet) createOrdinal(i int) error {
+	spec := s.template.clone()
+	spec.Name = s.PodName(i)
+	if spec.Labels == nil {
+		spec.Labels = map[string]string{}
+	}
+	spec.Labels["ordinal"] = fmt.Sprintf("%d", i)
+	p, err := s.cluster.createPodOwned(spec, s)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		p.kill(killDelete)
+		return nil
+	}
+	s.pods[i] = p
+	s.mu.Unlock()
+	return nil
+}
+
+// podTerminated implements ownerRef: recreate the same ordinal.
+func (s *StatefulSet) podTerminated(p *Pod, _ PodPhase) {
+	s.mu.Lock()
+	ordinal := -1
+	for i, cur := range s.pods {
+		if cur == p {
+			ordinal = i
+			delete(s.pods, i)
+			break
+		}
+	}
+	need := ordinal >= 0 && !s.stopped && ordinal < s.replicas
+	s.mu.Unlock()
+	if !need || !s.cluster.ctrl.running() {
+		return
+	}
+	go func() {
+		s.cluster.clk.Sleep(s.cluster.jitter(s.cluster.timing.ControllerReact))
+		s.mu.Lock()
+		stillNeed := !s.stopped
+		s.mu.Unlock()
+		if stillNeed {
+			_ = s.createOrdinal(ordinal)
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// Job: run a task to completion, restarting on failure up to a backoff
+// limit. The DLaaS Guardian runs as a Job — "tasks that K8S guarantees
+// to reliably run to completion".
+
+// Job reconciles a run-to-completion pod.
+type Job struct {
+	cluster      *Cluster
+	name         string
+	template     PodSpec
+	backoffLimit int
+
+	mu        sync.Mutex
+	attempts  int
+	active    *Pod
+	succeeded bool
+	failed    bool
+	stopped   bool
+	done      chan struct{}
+}
+
+var _ ownerRef = (*Job)(nil)
+
+// CreateJob starts a job. The pod is retried on failure up to
+// backoffLimit additional attempts; exhausting them marks the job failed.
+func (c *Cluster) CreateJob(name string, backoffLimit int, template PodSpec) (*Job, error) {
+	j := &Job{
+		cluster:      c,
+		name:         name,
+		template:     template,
+		backoffLimit: backoffLimit,
+		done:         make(chan struct{}),
+	}
+	if err := j.createAttempt(); err != nil {
+		return nil, fmt.Errorf("job %s: %w", name, err)
+	}
+	c.reg.mu.Lock()
+	c.reg.jobs[name] = j
+	c.reg.mu.Unlock()
+	return j, nil
+}
+
+// Name returns the job's name.
+func (j *Job) Name() string { return j.name }
+
+// ActivePodName returns the name of the current attempt's pod ("" when
+// finished).
+func (j *Job) ActivePodName() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.active == nil {
+		return ""
+	}
+	return j.active.Name()
+}
+
+// Done is closed when the job succeeds or permanently fails.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status reports the job outcome and attempt count.
+func (j *Job) Status() (succeeded, failed bool, attempts int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.succeeded, j.failed, j.attempts
+}
+
+// Delete stops the job and kills its active pod.
+func (j *Job) Delete() {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return
+	}
+	j.stopped = true
+	p := j.active
+	j.active = nil
+	finished := j.succeeded || j.failed
+	if !finished {
+		close(j.done)
+	}
+	j.mu.Unlock()
+	if p != nil {
+		p.kill(killDelete)
+	}
+}
+
+func (j *Job) createAttempt() error {
+	j.mu.Lock()
+	attempt := j.attempts
+	j.attempts++
+	j.mu.Unlock()
+
+	spec := j.template.clone()
+	spec.Name = fmt.Sprintf("%s-a%d", j.name, attempt)
+	if spec.RestartPolicy == 0 {
+		spec.RestartPolicy = RestartNever
+	}
+	p, err := j.cluster.createPodOwned(spec, j)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		p.kill(killDelete)
+		return nil
+	}
+	j.active = p
+	j.mu.Unlock()
+	return nil
+}
+
+// podTerminated implements ownerRef: retry failures, finish on success.
+func (j *Job) podTerminated(p *Pod, phase PodPhase) {
+	j.mu.Lock()
+	if j.active != p || j.stopped {
+		j.mu.Unlock()
+		return
+	}
+	j.active = nil
+	if phase == PodSucceeded {
+		j.succeeded = true
+		close(j.done)
+		j.mu.Unlock()
+		return
+	}
+	if j.attempts > j.backoffLimit {
+		j.failed = true
+		close(j.done)
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	if !j.cluster.ctrl.running() {
+		return
+	}
+	go func() {
+		j.cluster.clk.Sleep(j.cluster.jitter(j.cluster.timing.ControllerReact))
+		j.mu.Lock()
+		stopped := j.stopped
+		j.mu.Unlock()
+		if !stopped {
+			_ = j.createAttempt()
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// NetworkPolicy: label-selected ingress restrictions (DLaaS isolates
+// learner pods from platform services and from other tenants).
+
+// NetworkPolicy restricts which pods may connect to the selected pods.
+type NetworkPolicy struct {
+	// Name identifies the policy.
+	Name string
+	// AppliesTo selects the protected pods by label.
+	AppliesTo map[string]string
+	// AllowFrom lists label selectors of permitted clients. A
+	// connection is allowed if any selector matches the client.
+	AllowFrom []map[string]string
+}
+
+// ApplyNetworkPolicy installs or replaces a policy.
+func (c *Cluster) ApplyNetworkPolicy(p NetworkPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := p
+	c.policies[p.Name] = &cp
+}
+
+// RemoveNetworkPolicy uninstalls a policy.
+func (c *Cluster) RemoveNetworkPolicy(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.policies, name)
+}
+
+// CanConnect evaluates whether pod from may open a connection to pod to
+// under the installed policies: if no policy selects the target, the
+// connection is allowed (Kubernetes default-allow); otherwise at least
+// one selecting policy must allow the client.
+func (c *Cluster) CanConnect(fromPod, toPod string) bool {
+	c.mu.Lock()
+	from := c.pods[fromPod]
+	to := c.pods[toPod]
+	policies := make([]*NetworkPolicy, 0, len(c.policies))
+	for _, p := range c.policies {
+		policies = append(policies, p)
+	}
+	c.mu.Unlock()
+	if from == nil || to == nil {
+		return false
+	}
+	selected := false
+	for _, p := range policies {
+		if !labelsMatch(to.Spec.Labels, p.AppliesTo) {
+			continue
+		}
+		selected = true
+		for _, allow := range p.AllowFrom {
+			if labelsMatch(from.Spec.Labels, allow) {
+				return true
+			}
+		}
+	}
+	return !selected
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

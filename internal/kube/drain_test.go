@@ -1,0 +1,121 @@
+package kube
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFreeGPUsAccounting(t *testing.T) {
+	c, clk := newTestCluster(t,
+		NodeSpec{Name: "n1", GPUs: 4, GPUType: "K80"},
+		NodeSpec{Name: "n2", GPUs: 4, GPUType: "P100"},
+	)
+	if got := c.FreeGPUs(""); got != 8 {
+		t.Fatalf("total free = %d, want 8", got)
+	}
+	if got := c.FreeGPUs("K80"); got != 4 {
+		t.Fatalf("K80 free = %d, want 4", got)
+	}
+	spec := sleeperSpec("eater", time.Hour, 0)
+	spec.GPUs = 3
+	spec.GPUType = "K80"
+	if _, err := c.CreatePod(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, c, clk, "eater", PodRunning, 30*time.Second)
+	if got := c.FreeGPUs("K80"); got != 1 {
+		t.Fatalf("K80 free after placement = %d, want 1", got)
+	}
+	if got := c.FreeGPUs("P100"); got != 4 {
+		t.Fatalf("P100 free = %d, want 4", got)
+	}
+}
+
+func TestCordonExcludesFromScheduling(t *testing.T) {
+	c, clk := newTestCluster(t, NodeSpec{Name: "n1", GPUs: 4, GPUType: "K80"})
+	if err := c.CordonNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeGPUs(""); got != 0 {
+		t.Fatalf("cordoned free = %d, want 0", got)
+	}
+	p, err := c.CreatePod(sleeperSpec("waiting", time.Hour, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(3 * time.Second)
+	if p.Phase() != PodPending {
+		t.Fatalf("phase = %v, want Pending on cordoned cluster", p.Phase())
+	}
+	if err := c.UncordonNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, c, clk, "waiting", PodRunning, 30*time.Second)
+}
+
+func TestCordonDoesNotDisturbRunningPods(t *testing.T) {
+	c, clk := newTestCluster(t, NodeSpec{Name: "n1", GPUs: 4, GPUType: "K80"})
+	p, err := c.CreatePod(sleeperSpec("stays", time.Hour, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, c, clk, "stays", PodRunning, 30*time.Second)
+	if err := c.CordonNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(3 * time.Second)
+	if p.Phase() != PodRunning {
+		t.Fatalf("phase = %v, cordon must not evict", p.Phase())
+	}
+}
+
+func TestDrainEvictsAndControllerReschedules(t *testing.T) {
+	c, clk := newTestCluster(t,
+		NodeSpec{Name: "n1", GPUs: 4, GPUType: "K80"},
+		NodeSpec{Name: "n2", GPUs: 4, GPUType: "K80"},
+	)
+	tmpl := PodSpec{
+		Labels:        map[string]string{"app": "svc"},
+		RestartPolicy: RestartAlways,
+		Containers:    []ContainerSpec{{Name: "c", StartDelay: 50 * time.Millisecond}},
+	}
+	if _, err := c.CreateDeployment("svc", 2, tmpl); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, c, clk, "svc", 2, 30*time.Second)
+
+	// Drain whichever node hosts a replica.
+	victim := c.Pods(map[string]string{"app": "svc"})[0].NodeName()
+	if err := c.DrainNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// All replicas converge onto the other node.
+	deadline := clk.Now().Add(60 * time.Second)
+	for clk.Now().Before(deadline) {
+		pods := c.Pods(map[string]string{"app": "svc"})
+		ok := len(pods) == 2
+		for _, p := range pods {
+			if p.Phase() != PodRunning || p.NodeName() == victim {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		clk.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("drained pods did not reschedule off the node")
+}
+
+func TestDrainUnknownNode(t *testing.T) {
+	c, _ := newTestCluster(t)
+	if err := c.DrainNode("ghost"); err == nil {
+		t.Fatal("draining unknown node succeeded")
+	}
+	if err := c.CordonNode("ghost"); err == nil {
+		t.Fatal("cordoning unknown node succeeded")
+	}
+	if err := c.UncordonNode("ghost"); err == nil {
+		t.Fatal("uncordoning unknown node succeeded")
+	}
+}

@@ -1,0 +1,493 @@
+package kube
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// killReason distinguishes why a pod is being terminated.
+type killReason int
+
+const (
+	killDelete killReason = iota + 1
+	killNodeFailure
+)
+
+// exitKilled is the exit code of a killed container process (SIGKILL).
+const exitKilled = 137
+
+// Pod is a running (or pending/terminated) pod instance.
+type Pod struct {
+	cluster *Cluster
+	Spec    PodSpec
+	owner   ownerRef
+
+	mu         sync.Mutex
+	phase      PodPhase
+	node       *Node
+	containers map[string]*containerState
+	restarts   int
+	killed     bool
+	killWhy    killReason
+	killCh     chan struct{}
+	doneCh     chan struct{}
+	startedAt  time.Time
+}
+
+// containerState tracks one container's current incarnation.
+type containerState struct {
+	spec     ContainerSpec
+	mu       sync.Mutex
+	procKill chan struct{} // closes to kill the current process
+	running  bool
+	exits    int
+	lastExit int
+}
+
+// ownerRef links a pod to the controller that manages it.
+type ownerRef interface {
+	// podTerminated is invoked exactly once when the pod reaches a
+	// terminal phase or is deleted. phase is the final phase.
+	podTerminated(p *Pod, phase PodPhase)
+}
+
+func newPod(c *Cluster, spec PodSpec, owner ownerRef) *Pod {
+	p := &Pod{
+		cluster:    c,
+		Spec:       spec,
+		owner:      owner,
+		phase:      PodPending,
+		containers: make(map[string]*containerState, len(spec.Containers)),
+		killCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	for _, cs := range spec.Containers {
+		p.containers[cs.Name] = &containerState{spec: cs}
+	}
+	return p
+}
+
+// Name returns the pod's unique name.
+func (p *Pod) Name() string { return p.Spec.Name }
+
+// Phase returns the pod's current phase.
+func (p *Pod) Phase() PodPhase {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.phase
+}
+
+// NodeName returns the node the pod is bound to ("" while pending).
+func (p *Pod) NodeName() string { return p.nodeName() }
+
+func (p *Pod) nodeName() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.node == nil {
+		return ""
+	}
+	return p.node.Spec.Name
+}
+
+// Restarts reports cumulative in-place container restarts.
+func (p *Pod) Restarts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts
+}
+
+// StartedAt returns when the pod first reached Running (zero while
+// pending/creating).
+func (p *Pod) StartedAt() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.startedAt
+}
+
+// Done is closed when the pod reaches a terminal state or is deleted.
+func (p *Pod) Done() <-chan struct{} { return p.doneCh }
+
+// setPhase transitions the pod and emits a watch event.
+func (p *Pod) setPhase(ph PodPhase) {
+	p.mu.Lock()
+	if p.phase == ph || p.phase.Terminal() {
+		p.mu.Unlock()
+		return
+	}
+	p.phase = ph
+	p.mu.Unlock()
+	p.cluster.emit(Event{Type: EventPhaseChanged, Pod: p.Name(), Phase: ph})
+}
+
+// kill terminates the pod. Safe to call multiple times.
+func (p *Pod) kill(why killReason) {
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		return
+	}
+	p.killed = true
+	p.killWhy = why
+	close(p.killCh)
+	// Kill all live container processes.
+	for _, cs := range p.containers {
+		cs.killProcess()
+	}
+	p.mu.Unlock()
+}
+
+// crashContainer kills one container's process in place.
+func (p *Pod) crashContainer(name string) error {
+	p.mu.Lock()
+	cs, ok := p.containers[name]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("pod %s: %w", p.Name(), errNoContainer(name))
+	}
+	cs.killProcess()
+	return nil
+}
+
+func errNoContainer(name string) error {
+	return fmt.Errorf("no such container %q: %w", name, errContainer)
+}
+
+// errContainer is the sentinel for unknown container names.
+var errContainer = errors.New("kube: no such container")
+
+// interruptibleSleep sleeps for d on the cluster clock, returning false
+// if the pod is killed first.
+func (p *Pod) interruptibleSleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := p.cluster.clk.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return true
+	case <-p.killCh:
+		return false
+	}
+}
+
+// run is the pod's kubelet lifecycle goroutine.
+func (p *Pod) run() {
+	defer p.finish()
+
+	// 1. Scheduling: wait for a node with capacity.
+	var node *Node
+	for {
+		select {
+		case <-p.killCh:
+			return
+		default:
+		}
+		node = p.cluster.schedule(p.Spec)
+		if node != nil {
+			break
+		}
+		if !p.interruptibleSleep(200 * time.Millisecond) {
+			return
+		}
+	}
+	p.mu.Lock()
+	p.node = node
+	p.mu.Unlock()
+	if !p.interruptibleSleep(p.cluster.jitter(p.cluster.timing.Schedule)) {
+		return
+	}
+
+	// 2. Container creation: runtime setup plus volume binding.
+	p.setPhase(PodCreating)
+	setup := p.cluster.timing.ContainerCreate
+	setup += time.Duration(len(p.Spec.Volumes)) * p.cluster.timing.VolumeBind
+	if p.Spec.BindsObjectStore {
+		setup += p.cluster.timing.ObjectStoreBind
+	}
+	if !p.interruptibleSleep(p.cluster.jitter(setup)) {
+		return
+	}
+
+	// 3. Start containers concurrently; Running once all are started.
+	var wgStart, wgRun sync.WaitGroup
+	for _, cs := range p.containers {
+		wgStart.Add(1)
+		wgRun.Add(1)
+		go func(cs *containerState) {
+			defer wgRun.Done()
+			p.superviseContainer(cs, &wgStart)
+		}(cs)
+	}
+	started := make(chan struct{})
+	go func() {
+		wgStart.Wait()
+		close(started)
+	}()
+	select {
+	case <-started:
+		p.setPhase(PodRunning)
+		p.mu.Lock()
+		p.startedAt = p.cluster.clk.Now()
+		p.mu.Unlock()
+	case <-p.killCh:
+		// Fall through: supervisors observe the kill and unwind.
+	}
+
+	// 4. Wait for all containers to finish supervising.
+	wgRun.Wait()
+}
+
+// superviseContainer runs one container's restart loop. wgStart is
+// released after the first successful process start (or on kill).
+func (p *Pod) superviseContainer(cs *containerState, wgStart *sync.WaitGroup) {
+	startReleased := false
+	releaseStart := func() {
+		if !startReleased {
+			startReleased = true
+			wgStart.Done()
+		}
+	}
+	defer releaseStart()
+
+	for incarnation := 0; ; incarnation++ {
+		if incarnation > 0 {
+			// Count the restart when the container actually comes
+			// back, as Kubernetes does.
+			p.mu.Lock()
+			p.restarts++
+			p.mu.Unlock()
+		}
+		// Boot delay (image/runtime dependent).
+		if !p.interruptibleSleep(p.cluster.jitter(cs.spec.StartDelay)) {
+			return
+		}
+		procKill := make(chan struct{})
+		cs.mu.Lock()
+		cs.procKill = procKill
+		cs.running = true
+		cs.mu.Unlock()
+		releaseStart()
+
+		code := p.runProcess(cs, procKill, incarnation)
+
+		cs.mu.Lock()
+		cs.running = false
+		cs.exits++
+		cs.lastExit = code
+		cs.mu.Unlock()
+
+		select {
+		case <-p.killCh:
+			return
+		default:
+		}
+
+		switch p.Spec.RestartPolicy {
+		case RestartNever:
+			return
+		case RestartOnFailure:
+			if code == 0 {
+				return
+			}
+		case RestartAlways:
+			// Always restart.
+		}
+
+		// First restart is immediate; repeated crashes back off
+		// (CrashLoopBackOff).
+		if incarnation > 0 {
+			backoff := p.cluster.timing.CrashBackoffBase * time.Duration(1<<uint(min(incarnation-1, 5)))
+			if !p.interruptibleSleep(backoff) {
+				return
+			}
+		}
+	}
+}
+
+// runProcess executes the container's process body until it exits, is
+// killed, or fails its liveness probe, returning its exit code.
+func (p *Pod) runProcess(cs *containerState, procKill chan struct{}, incarnation int) int {
+	ctx := &ContainerCtx{
+		pod:       p,
+		container: cs.spec.Name,
+		killedCh:  procKill,
+		restart:   incarnation,
+	}
+	probeStop := p.startLivenessProbe(cs, procKill)
+	if probeStop != nil {
+		defer probeStop()
+	}
+	if cs.spec.Run == nil {
+		// Server process: blocks until killed.
+		<-procKill
+		return exitKilled
+	}
+	done := make(chan int, 1)
+	go func() { done <- cs.spec.Run(ctx) }()
+	select {
+	case code := <-done:
+		return code
+	case <-procKill:
+		// Give the process a chance to observe the kill and return;
+		// regardless, the container reports SIGKILL.
+		select {
+		case <-done:
+		case <-time.After(0):
+		}
+		return exitKilled
+	}
+}
+
+// startLivenessProbe polls the container's liveness function and kills
+// the process on failure. It returns a stop function, or nil when the
+// container has no probe.
+func (p *Pod) startLivenessProbe(cs *containerState, procKill chan struct{}) func() {
+	if cs.spec.Liveness == nil {
+		return nil
+	}
+	interval := cs.spec.LivenessInterval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	stop := make(chan struct{})
+	go func() {
+		t := p.cluster.clk.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-procKill:
+				return
+			case <-t.C():
+				if !cs.spec.Liveness() {
+					cs.killProcess()
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+// killProcess terminates the container's current process, if running.
+func (cs *containerState) killProcess() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.running && cs.procKill != nil {
+		select {
+		case <-cs.procKill:
+		default:
+			close(cs.procKill)
+		}
+	}
+}
+
+// ExitInfo reports a container's exit statistics.
+func (p *Pod) ExitInfo(container string) (exits, lastCode int, running bool) {
+	p.mu.Lock()
+	cs := p.containers[container]
+	p.mu.Unlock()
+	if cs == nil {
+		return 0, 0, false
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.exits, cs.lastExit, cs.running
+}
+
+// finish computes the terminal phase, releases resources and notifies
+// the owner controller.
+func (p *Pod) finish() {
+	p.mu.Lock()
+	node := p.node
+	killed := p.killed
+	why := p.killWhy
+	// Determine terminal phase.
+	var phase PodPhase
+	switch {
+	case killed:
+		phase = PodFailed
+	default:
+		phase = PodSucceeded
+		for _, cs := range p.containers {
+			cs.mu.Lock()
+			if cs.lastExit != 0 {
+				phase = PodFailed
+			}
+			cs.mu.Unlock()
+		}
+	}
+	alreadyTerminal := p.phase.Terminal()
+	if !alreadyTerminal {
+		p.phase = phase
+	}
+	p.mu.Unlock()
+
+	p.cluster.release(node, p.Spec)
+	p.cluster.forget(p)
+	if !alreadyTerminal {
+		if killed && why == killDelete {
+			p.cluster.emit(Event{Type: EventDeleted, Pod: p.Name(), Phase: phase})
+		} else {
+			p.cluster.emit(Event{Type: EventPhaseChanged, Pod: p.Name(), Phase: phase})
+		}
+	}
+	close(p.doneCh)
+	if p.owner != nil {
+		p.owner.podTerminated(p, phase)
+	}
+}
+
+// ContainerCtx is handed to container processes.
+type ContainerCtx struct {
+	pod       *Pod
+	container string
+	killedCh  chan struct{}
+	restart   int
+}
+
+// Killed is closed when the process must terminate.
+func (c *ContainerCtx) Killed() <-chan struct{} { return c.killedCh }
+
+// PodName returns the owning pod's name.
+func (c *ContainerCtx) PodName() string { return c.pod.Name() }
+
+// Container returns this container's name.
+func (c *ContainerCtx) Container() string { return c.container }
+
+// Restart returns the incarnation number (0 = first run).
+func (c *ContainerCtx) Restart() int { return c.restart }
+
+// NodeName returns the node the pod runs on.
+func (c *ContainerCtx) NodeName() string { return c.pod.nodeName() }
+
+// Cluster returns the owning cluster (for service registration et al.).
+func (c *ContainerCtx) Cluster() *Cluster { return c.pod.cluster }
+
+// Sleep pauses for d of cluster time; it returns false if the process
+// was killed while sleeping.
+func (c *ContainerCtx) Sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := c.pod.cluster.clk.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return true
+	case <-c.killedCh:
+		return false
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package kube
+
+import "sync"
+
+// registry gives controllers name-based addressing, which is what lets a
+// restarted Guardian find and roll back resources created by its crashed
+// predecessor (it has no in-memory handles, only names journaled in etcd).
+type registry struct {
+	mu           sync.Mutex
+	deployments  map[string]*Deployment
+	statefulSets map[string]*StatefulSet
+	jobs         map[string]*Job
+}
+
+func newRegistry() *registry {
+	return &registry{
+		deployments:  make(map[string]*Deployment),
+		statefulSets: make(map[string]*StatefulSet),
+		jobs:         make(map[string]*Job),
+	}
+}
+
+// DeploymentByName returns the live deployment or nil.
+func (c *Cluster) DeploymentByName(name string) *Deployment {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
+	return c.reg.deployments[name]
+}
+
+// StatefulSetByName returns the live stateful set or nil.
+func (c *Cluster) StatefulSetByName(name string) *StatefulSet {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
+	return c.reg.statefulSets[name]
+}
+
+// JobByName returns the job (running or finished) or nil.
+func (c *Cluster) JobByName(name string) *Job {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
+	return c.reg.jobs[name]
+}
+
+// DeleteDeployment removes the named deployment and its pods. It is a
+// no-op if absent.
+func (c *Cluster) DeleteDeployment(name string) {
+	c.reg.mu.Lock()
+	d := c.reg.deployments[name]
+	delete(c.reg.deployments, name)
+	c.reg.mu.Unlock()
+	if d != nil {
+		d.Delete()
+	}
+}
+
+// DeleteStatefulSet removes the named stateful set and its pods. It is a
+// no-op if absent.
+func (c *Cluster) DeleteStatefulSet(name string) {
+	c.reg.mu.Lock()
+	s := c.reg.statefulSets[name]
+	delete(c.reg.statefulSets, name)
+	c.reg.mu.Unlock()
+	if s != nil {
+		s.Delete()
+	}
+}
+
+// DeleteJob removes the named job and its active pod. It is a no-op if
+// absent.
+func (c *Cluster) DeleteJob(name string) {
+	c.reg.mu.Lock()
+	j := c.reg.jobs[name]
+	delete(c.reg.jobs, name)
+	c.reg.mu.Unlock()
+	if j != nil {
+		j.Delete()
+	}
+}

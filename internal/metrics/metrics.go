@@ -1,0 +1,151 @@
+// Package metrics is a small instrumentation registry (counters, gauges
+// and duration histograms) used by the core services for the metering
+// and monitoring the paper assigns to the API layer ("handles all the
+// incoming API requests including load balancing, metering, and access
+// management"). It is deliberately Prometheus-shaped without the wire
+// format: names plus ordered label values.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named instruments. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]float64
+	gauges     map[string]float64
+	histograms map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]float64),
+		gauges:     make(map[string]float64),
+		histograms: make(map[string]*histogram),
+	}
+}
+
+// key renders name plus labels canonically: name{a,b}.
+func key(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(labels, ",") + "}"
+}
+
+// Inc adds 1 to the counter.
+func (r *Registry) Inc(name string, labels ...string) {
+	r.Add(name, 1, labels...)
+}
+
+// Add increases the counter by v (v must be >= 0).
+func (r *Registry) Add(name string, v float64, labels ...string) {
+	if v < 0 {
+		panic(fmt.Sprintf("metrics: negative counter add for %s", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[key(name, labels)] += v
+}
+
+// Counter reads the counter's current value.
+func (r *Registry) Counter(name string, labels ...string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[key(name, labels)]
+}
+
+// SetGauge sets the gauge to v.
+func (r *Registry) SetGauge(name string, v float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[key(name, labels)] = v
+}
+
+// Gauge reads the gauge's current value.
+func (r *Registry) Gauge(name string, labels ...string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[key(name, labels)]
+}
+
+// histogram accumulates durations in fixed exponential buckets.
+type histogram struct {
+	bounds []time.Duration
+	counts []int64
+	sum    time.Duration
+	n      int64
+}
+
+// defaultBounds covers 1ms..~5min exponentially.
+func defaultBounds() []time.Duration {
+	var out []time.Duration
+	for d := time.Millisecond; d <= 5*time.Minute; d *= 4 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Observe records a duration sample into the named histogram.
+func (r *Registry) Observe(name string, d time.Duration, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	h := r.histograms[k]
+	if h == nil {
+		h = &histogram{bounds: defaultBounds()}
+		h.counts = make([]int64, len(h.bounds)+1)
+		r.histograms[k] = h
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += d
+	h.n++
+}
+
+// HistogramStats summarizes a histogram.
+type HistogramStats struct {
+	Count int64
+	Sum   time.Duration
+	Mean  time.Duration
+}
+
+// Histogram reads the named histogram's summary.
+func (r *Registry) Histogram(name string, labels ...string) HistogramStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[key(name, labels)]
+	if h == nil || h.n == 0 {
+		return HistogramStats{}
+	}
+	return HistogramStats{Count: h.n, Sum: h.sum, Mean: h.sum / time.Duration(h.n)}
+}
+
+// Snapshot renders every instrument, sorted by name, one per line.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for k, v := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %.0f", k, v))
+	}
+	for k, v := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", k, v))
+	}
+	for k, h := range r.histograms {
+		mean := time.Duration(0)
+		if h.n > 0 {
+			mean = h.sum / time.Duration(h.n)
+		}
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%v", k, h.n, mean))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

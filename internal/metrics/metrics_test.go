@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("api_requests", "submit", "alice")
+	r.Inc("api_requests", "submit", "alice")
+	r.Add("api_requests", 3, "submit", "bob")
+	if got := r.Counter("api_requests", "submit", "alice"); got != 2 {
+		t.Fatalf("alice = %v", got)
+	}
+	if got := r.Counter("api_requests", "submit", "bob"); got != 3 {
+		t.Fatalf("bob = %v", got)
+	}
+	if got := r.Counter("api_requests", "halt", "alice"); got != 0 {
+		t.Fatalf("unobserved = %v", got)
+	}
+}
+
+func TestNegativeAddPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative add did not panic")
+		}
+	}()
+	r.Add("x", -1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	r.SetGauge("free_gpus", 12)
+	r.SetGauge("free_gpus", 8)
+	if got := r.Gauge("free_gpus"); got != 8 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("latency", 10*time.Millisecond, "submit")
+	r.Observe("latency", 30*time.Millisecond, "submit")
+	st := r.Histogram("latency", "submit")
+	if st.Count != 2 || st.Sum != 40*time.Millisecond || st.Mean != 20*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st := r.Histogram("latency", "other"); st.Count != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("b_counter")
+	r.SetGauge("a_gauge", 1)
+	r.Observe("c_hist", time.Second)
+	snap := r.Snapshot()
+	for _, want := range []string{"counter b_counter 1", "gauge a_gauge 1", "c_hist count=1"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	lines := strings.Split(snap, "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("snapshot not sorted:\n%s", snap)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Inc("ops")
+				r.Observe("lat", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops"); got != 1600 {
+		t.Fatalf("ops = %v", got)
+	}
+	if st := r.Histogram("lat"); st.Count != 1600 {
+		t.Fatalf("hist = %+v", st)
+	}
+}

@@ -1,0 +1,328 @@
+// Package mongo is an in-memory document store standing in for the
+// MongoDB deployment that holds DLaaS job metadata ("For the lifetime of
+// a DL job, all its metadata, including its job parameters, are stored in
+// MongoDB"). The platform relies on three properties, all provided here:
+//
+//   - Durable writes acknowledged before the API acknowledges a
+//     submission, so accepted jobs are never lost.
+//   - Atomic single-document updates (status transitions).
+//   - Filtered queries over collections (job listing, GC scans).
+//
+// Documents are map[string]any with a mandatory "_id" field. Values
+// stored and returned are deep-copied so callers can never alias the
+// store's internal state.
+package mongo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Common errors.
+var (
+	// ErrNotFound indicates no document matched the filter.
+	ErrNotFound = errors.New("mongo: document not found")
+	// ErrDuplicateKey indicates an insert violated the _id or a unique
+	// index constraint.
+	ErrDuplicateKey = errors.New("mongo: duplicate key")
+)
+
+// Document is a JSON-like record.
+type Document = map[string]any
+
+// Filter matches documents by exact field equality. A nil or empty
+// filter matches everything.
+type Filter = map[string]any
+
+// writeLatency models the round trip to a replicated Mongo deployment
+// with journaled write concern.
+const writeLatency = 2 * time.Millisecond
+
+// readLatency models an indexed read.
+const readLatency = 500 * time.Microsecond
+
+// DB is a named set of collections.
+type DB struct {
+	clk clock.Clock
+
+	mu    sync.Mutex
+	colls map[string]*Collection
+	down  bool
+}
+
+// New returns an empty database on clk.
+func New(clk clock.Clock) *DB {
+	return &DB{clk: clk, colls: make(map[string]*Collection)}
+}
+
+// SetDown simulates the database being unreachable (crash of the Mongo
+// deployment). Operations fail until SetDown(false).
+func (d *DB) SetDown(down bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down = down
+}
+
+// ErrUnavailable indicates the database is down (crash simulation).
+var ErrUnavailable = errors.New("mongo: database unavailable")
+
+func (d *DB) available() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Collection returns (creating if needed) the named collection.
+func (d *DB) Collection(name string) *Collection {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.colls[name]
+	if c == nil {
+		c = &Collection{db: d, name: name, docs: make(map[string]Document)}
+		d.colls[name] = c
+	}
+	return c
+}
+
+// Collection is a set of documents keyed by "_id".
+type Collection struct {
+	db   *DB
+	name string
+
+	mu     sync.Mutex
+	docs   map[string]Document
+	unique []string // field names with unique indexes
+	writes int
+}
+
+// EnsureUniqueIndex adds a unique constraint on field. Existing
+// duplicate values cause an error.
+func (c *Collection) EnsureUniqueIndex(field string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[any]bool)
+	for _, doc := range c.docs {
+		v, ok := doc[field]
+		if !ok {
+			continue
+		}
+		if seen[v] {
+			return fmt.Errorf("mongo: building index on %s.%s: %w", c.name, field, ErrDuplicateKey)
+		}
+		seen[v] = true
+	}
+	c.unique = append(c.unique, field)
+	return nil
+}
+
+// InsertOne adds doc. The document must carry a string "_id". The write
+// is durable when InsertOne returns (journaled write concern).
+func (c *Collection) InsertOne(doc Document) error {
+	if err := c.db.available(); err != nil {
+		return err
+	}
+	id, ok := doc["_id"].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("mongo: insert into %s: missing string _id", c.name)
+	}
+	c.db.clk.Sleep(writeLatency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[id]; exists {
+		return fmt.Errorf("mongo: insert %s/%s: %w", c.name, id, ErrDuplicateKey)
+	}
+	for _, f := range c.unique {
+		want, has := doc[f]
+		if !has {
+			continue
+		}
+		for _, other := range c.docs {
+			if other[f] == want {
+				return fmt.Errorf("mongo: insert %s/%s: field %s: %w", c.name, id, f, ErrDuplicateKey)
+			}
+		}
+	}
+	c.docs[id] = deepCopy(doc)
+	c.writes++
+	return nil
+}
+
+// FindOne returns the first document matching filter in _id order.
+func (c *Collection) FindOne(filter Filter) (Document, error) {
+	if err := c.db.available(); err != nil {
+		return nil, err
+	}
+	c.db.clk.Sleep(readLatency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.sortedIDsLocked() {
+		if matches(c.docs[id], filter) {
+			return deepCopy(c.docs[id]), nil
+		}
+	}
+	return nil, fmt.Errorf("mongo: find in %s: %w", c.name, ErrNotFound)
+}
+
+// Find returns every document matching filter, in _id order.
+func (c *Collection) Find(filter Filter) ([]Document, error) {
+	if err := c.db.available(); err != nil {
+		return nil, err
+	}
+	c.db.clk.Sleep(readLatency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Document
+	for _, id := range c.sortedIDsLocked() {
+		if matches(c.docs[id], filter) {
+			out = append(out, deepCopy(c.docs[id]))
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of documents matching filter.
+func (c *Collection) Count(filter Filter) (int, error) {
+	docs, err := c.Find(filter)
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// UpdateOne applies set to the first document matching filter,
+// atomically. It returns the updated document.
+func (c *Collection) UpdateOne(filter Filter, set Document) (Document, error) {
+	if err := c.db.available(); err != nil {
+		return nil, err
+	}
+	c.db.clk.Sleep(writeLatency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.sortedIDsLocked() {
+		doc := c.docs[id]
+		if !matches(doc, filter) {
+			continue
+		}
+		for k, v := range set {
+			if k == "_id" {
+				continue // immutable
+			}
+			doc[k] = deepCopyValue(v)
+		}
+		c.writes++
+		return deepCopy(doc), nil
+	}
+	return nil, fmt.Errorf("mongo: update in %s: %w", c.name, ErrNotFound)
+}
+
+// Mutate atomically applies fn to the first document matching filter
+// (in _id order) while holding the collection lock — the read-modify-
+// write primitive behind dependable job state transitions. fn receives a
+// copy; returning nil commits it (the _id is immutable), returning an
+// error aborts. The committed document is returned.
+func (c *Collection) Mutate(filter Filter, fn func(doc Document) error) (Document, error) {
+	if err := c.db.available(); err != nil {
+		return nil, err
+	}
+	c.db.clk.Sleep(writeLatency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.sortedIDsLocked() {
+		doc := c.docs[id]
+		if !matches(doc, filter) {
+			continue
+		}
+		work := deepCopy(doc)
+		if err := fn(work); err != nil {
+			return nil, err
+		}
+		work["_id"] = id
+		c.docs[id] = deepCopy(work)
+		c.writes++
+		return work, nil
+	}
+	return nil, fmt.Errorf("mongo: mutate in %s: %w", c.name, ErrNotFound)
+}
+
+// DeleteOne removes the first document matching filter. It reports
+// whether a document was removed.
+func (c *Collection) DeleteOne(filter Filter) (bool, error) {
+	if err := c.db.available(); err != nil {
+		return false, err
+	}
+	c.db.clk.Sleep(writeLatency)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.sortedIDsLocked() {
+		if matches(c.docs[id], filter) {
+			delete(c.docs, id)
+			c.writes++
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Writes reports how many mutating operations committed (used by the
+// overhead benches).
+func (c *Collection) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+func (c *Collection) sortedIDsLocked() []string {
+	ids := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// matches reports whether doc satisfies every equality in filter.
+func matches(doc Document, filter Filter) bool {
+	for k, want := range filter {
+		got, ok := doc[k]
+		if !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// deepCopy clones a document so callers never alias store state.
+func deepCopy(doc Document) Document {
+	out := make(Document, len(doc))
+	for k, v := range doc {
+		out[k] = deepCopyValue(v)
+	}
+	return out
+}
+
+func deepCopyValue(v any) any {
+	switch t := v.(type) {
+	case Document:
+		return deepCopy(t)
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = deepCopyValue(e)
+		}
+		return out
+	case []string:
+		out := make([]string, len(t))
+		copy(out, t)
+		return out
+	default:
+		return v
+	}
+}

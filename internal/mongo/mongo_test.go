@@ -1,0 +1,265 @@
+package mongo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	clk := clock.NewSim()
+	t.Cleanup(clk.Close)
+	return New(clk)
+}
+
+func TestInsertAndFindOne(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	err := jobs.InsertOne(Document{"_id": "j1", "status": "QUEUED", "user": "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := jobs.FindOne(Filter{"_id": "j1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "QUEUED" || doc["user"] != "alice" {
+		t.Fatalf("doc = %v", doc)
+	}
+}
+
+func TestInsertMissingID(t *testing.T) {
+	db := newTestDB(t)
+	err := db.Collection("jobs").InsertOne(Document{"status": "QUEUED"})
+	if err == nil {
+		t.Fatal("insert without _id succeeded")
+	}
+}
+
+func TestInsertDuplicateID(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	if err := jobs.InsertOne(Document{"_id": "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := jobs.InsertOne(Document{"_id": "j1"})
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestFindOneNotFound(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Collection("jobs").FindOne(Filter{"_id": "missing"})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFindByField(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	for i := 0; i < 5; i++ {
+		status := "QUEUED"
+		if i%2 == 0 {
+			status = "COMPLETED"
+		}
+		if err := jobs.InsertOne(Document{"_id": fmt.Sprintf("j%d", i), "status": status}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := jobs.Find(Filter{"status": "COMPLETED"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("found %d, want 3", len(docs))
+	}
+	// Results come back in _id order.
+	if docs[0]["_id"] != "j0" || docs[2]["_id"] != "j4" {
+		t.Fatalf("order = %v %v %v", docs[0]["_id"], docs[1]["_id"], docs[2]["_id"])
+	}
+}
+
+func TestFindAllWithNilFilter(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	for i := 0; i < 3; i++ {
+		if err := jobs.InsertOne(Document{"_id": fmt.Sprintf("j%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := jobs.Find(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("found %d, want 3", len(docs))
+	}
+}
+
+func TestUpdateOneAtomicStatusTransition(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	if err := jobs.InsertOne(Document{"_id": "j1", "status": "DEPLOYING"}); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := jobs.UpdateOne(Filter{"_id": "j1"}, Document{"status": "PROCESSING"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated["status"] != "PROCESSING" {
+		t.Fatalf("status = %v", updated["status"])
+	}
+	// Conditional update: only transition from an expected state
+	// (optimistic concurrency used by the Guardian).
+	_, err = jobs.UpdateOne(Filter{"_id": "j1", "status": "DEPLOYING"}, Document{"status": "FAILED"})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale transition err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpdateCannotChangeID(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	if err := jobs.InsertOne(Document{"_id": "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jobs.UpdateOne(Filter{"_id": "j1"}, Document{"_id": "j2", "x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jobs.FindOne(Filter{"_id": "j1"}); err != nil {
+		t.Fatal("_id was mutated")
+	}
+}
+
+func TestDeleteOne(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	if err := jobs.InsertOne(Document{"_id": "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := jobs.DeleteOne(Filter{"_id": "j1"})
+	if err != nil || !removed {
+		t.Fatalf("delete = (%v,%v)", removed, err)
+	}
+	removed, err = jobs.DeleteOne(Filter{"_id": "j1"})
+	if err != nil || removed {
+		t.Fatalf("second delete = (%v,%v), want (false,nil)", removed, err)
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	if err := jobs.EnsureUniqueIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.InsertOne(Document{"_id": "j1", "name": "train-a"}); err != nil {
+		t.Fatal(err)
+	}
+	err := jobs.InsertOne(Document{"_id": "j2", "name": "train-a"})
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestDocumentsAreIsolatedCopies(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	orig := Document{"_id": "j1", "nested": Document{"gpus": 4}}
+	if err := jobs.InsertOne(orig); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's document must not affect the store.
+	orig["nested"].(Document)["gpus"] = 999
+	doc, _ := jobs.FindOne(Filter{"_id": "j1"})
+	if doc["nested"].(Document)["gpus"] != 4 {
+		t.Fatal("store aliased caller memory on insert")
+	}
+	// Mutating a returned document must not affect the store.
+	doc["nested"].(Document)["gpus"] = 777
+	doc2, _ := jobs.FindOne(Filter{"_id": "j1"})
+	if doc2["nested"].(Document)["gpus"] != 4 {
+		t.Fatal("store aliased returned memory")
+	}
+}
+
+func TestDownDatabaseRejectsOps(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	db.SetDown(true)
+	if err := jobs.InsertOne(Document{"_id": "j1"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("insert err = %v, want ErrUnavailable", err)
+	}
+	if _, err := jobs.FindOne(Filter{"_id": "j1"}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("find err = %v, want ErrUnavailable", err)
+	}
+	db.SetDown(false)
+	if err := jobs.InsertOne(Document{"_id": "j1"}); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	for i := 0; i < 4; i++ {
+		if err := jobs.InsertOne(Document{"_id": fmt.Sprintf("j%d", i), "tenant": "t1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := jobs.Count(Filter{"tenant": "t1"})
+	if err != nil || n != 4 {
+		t.Fatalf("count = (%d,%v), want (4,nil)", n, err)
+	}
+}
+
+func TestConcurrentInsertsDistinctIDs(t *testing.T) {
+	db := newTestDB(t)
+	jobs := db.Collection("jobs")
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := jobs.InsertOne(Document{"_id": fmt.Sprintf("j%d", i)}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, _ := jobs.Count(nil)
+	if n != 32 {
+		t.Fatalf("count = %d, want 32", n)
+	}
+}
+
+// Property: insert-then-find returns exactly the inserted fields.
+func TestQuickInsertFindRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	coll := db.Collection("rt")
+	seq := 0
+	f := func(status string, gpus uint8) bool {
+		id := fmt.Sprintf("doc%d", seq)
+		seq++
+		if err := coll.InsertOne(Document{"_id": id, "status": status, "gpus": int(gpus)}); err != nil {
+			return false
+		}
+		doc, err := coll.FindOne(Filter{"_id": id})
+		return err == nil && doc["status"] == status && doc["gpus"] == int(gpus)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

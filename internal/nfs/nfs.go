@@ -1,0 +1,200 @@
+// Package nfs models the shared NFS volume that a DL job's learner and
+// helper pods both mount ("the helper pod remains isolated from the
+// learner pods, but both share a common NFS filesystem, mounted by the
+// Guardian using a K8S persistent volume claim"). The volume is the
+// coordination medium of the paper's failure-detection design: learners
+// redirect logs and exit statuses to files, and the controller container
+// in the helper pod reads them — surviving crashes of either side.
+package nfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+)
+
+// Common errors.
+var (
+	// ErrNoVolume indicates the volume does not exist.
+	ErrNoVolume = errors.New("nfs: no such volume")
+	// ErrNoFile indicates the file does not exist on the volume.
+	ErrNoFile = errors.New("nfs: no such file")
+	// ErrVolumeExists indicates a provisioning name collision.
+	ErrVolumeExists = errors.New("nfs: volume already exists")
+)
+
+// Server hosts named shared volumes.
+type Server struct {
+	clk  clock.Clock
+	link netsim.Link
+
+	mu      sync.Mutex
+	volumes map[string]*Volume
+}
+
+// NewServer returns an NFS server on clk; file operations are charged
+// per-operation latency from link.
+func NewServer(clk clock.Clock) *Server {
+	return &Server{clk: clk, link: netsim.NFSLink, volumes: make(map[string]*Volume)}
+}
+
+// Provision creates a volume (the Guardian does this per job through a
+// PVC). Provisioning is idempotent per name only in the error sense:
+// creating an existing name fails with ErrVolumeExists.
+func (s *Server) Provision(name string) (*Volume, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.volumes[name]; ok {
+		return nil, fmt.Errorf("provisioning %q: %w", name, ErrVolumeExists)
+	}
+	v := &Volume{name: name, srv: s, files: make(map[string][]byte)}
+	s.volumes[name] = v
+	return v, nil
+}
+
+// Volume returns the named volume.
+func (s *Server) Volume(name string) (*Volume, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[name]
+	if !ok {
+		return nil, fmt.Errorf("mounting %q: %w", name, ErrNoVolume)
+	}
+	return v, nil
+}
+
+// Release deletes the volume and its contents (job teardown).
+func (s *Server) Release(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.volumes, name)
+}
+
+// VolumeNames lists provisioned volumes (GC scans).
+func (s *Server) VolumeNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.volumes))
+	for n := range s.volumes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Volume is a single shared filesystem.
+type Volume struct {
+	name string
+	srv  *Server
+
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// Name returns the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// Write replaces the file's contents.
+func (v *Volume) Write(path string, data []byte) {
+	v.srv.clk.Sleep(v.srv.link.Latency)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	v.files[path] = cp
+}
+
+// Append adds data to the end of the file, creating it if absent. This
+// is the learner's log-write primitive.
+func (v *Volume) Append(path string, data []byte) {
+	v.srv.clk.Sleep(v.srv.link.Latency)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.files[path] = append(v.files[path], data...)
+}
+
+// Read returns a copy of the file's contents.
+func (v *Volume) Read(path string) ([]byte, error) {
+	v.srv.clk.Sleep(v.srv.link.Latency)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	data, ok := v.files[path]
+	if !ok {
+		return nil, fmt.Errorf("reading %s on %s: %w", path, v.name, ErrNoFile)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Exists reports whether path is present.
+func (v *Volume) Exists(path string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	_, ok := v.files[path]
+	return ok
+}
+
+// List returns paths under the given directory prefix, sorted.
+func (v *Volume) List(prefix string) []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var out []string
+	for p := range v.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes the file if present.
+func (v *Volume) Remove(path string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.files, path)
+}
+
+// Size returns the file's length in bytes, or 0 if absent.
+func (v *Volume) Size(path string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return int64(len(v.files[path]))
+}
+
+// Exit-status convention: learner process i writes its exit code to
+// "learner-<i>/exitcode" when it terminates in an orderly way. The
+// controller polls these files to detect completion and failure — the
+// paper's "reading their output (e.g., exit status redirected to a
+// file)".
+
+// ExitCodePath returns the conventional exit-status path for a learner.
+func ExitCodePath(learnerIdx int) string {
+	return fmt.Sprintf("learner-%d/exitcode", learnerIdx)
+}
+
+// WriteExitCode records the learner's exit code on the volume.
+func (v *Volume) WriteExitCode(learnerIdx, code int) {
+	v.Write(ExitCodePath(learnerIdx), []byte(strconv.Itoa(code)))
+}
+
+// ReadExitCode returns the learner's recorded exit code. ok reports
+// whether the learner has terminated (file present and well-formed).
+func (v *Volume) ReadExitCode(learnerIdx int) (code int, ok bool) {
+	data, err := v.Read(ExitCodePath(learnerIdx))
+	if err != nil {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,182 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	clk := clock.NewSim()
+	t.Cleanup(clk.Close)
+	return NewServer(clk)
+}
+
+func TestProvisionAndMount(t *testing.T) {
+	s := newTestServer(t)
+	v, err := s.Provision("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "job-1" {
+		t.Fatalf("name = %q", v.Name())
+	}
+	// A second mount handle sees the same files (shared semantics).
+	v.Write("shared.txt", []byte("hello"))
+	v2, err := s.Volume("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := v2.Read("shared.txt")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read = (%q,%v)", data, err)
+	}
+}
+
+func TestProvisionCollision(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Provision("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Provision("job-1"); !errors.Is(err, ErrVolumeExists) {
+		t.Fatalf("err = %v, want ErrVolumeExists", err)
+	}
+}
+
+func TestMountMissingVolume(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Volume("nope"); !errors.Is(err, ErrNoVolume) {
+		t.Fatalf("err = %v, want ErrNoVolume", err)
+	}
+}
+
+func TestAppendAccumulates(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	for i := 0; i < 3; i++ {
+		v.Append("learner-0/training.log", []byte(fmt.Sprintf("line %d\n", i)))
+	}
+	data, err := v.Read("learner-0/training.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line 0\nline 1\nline 2\n"
+	if string(data) != want {
+		t.Fatalf("log = %q, want %q", data, want)
+	}
+	if v.Size("learner-0/training.log") != int64(len(want)) {
+		t.Fatalf("size = %d", v.Size("learner-0/training.log"))
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	if _, err := v.Read("nope"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("err = %v, want ErrNoFile", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	v.Write("learner-0/exitcode", []byte("0"))
+	v.Write("learner-1/exitcode", []byte("1"))
+	v.Write("status/controller", []byte("ok"))
+	got := v.List("learner-")
+	if len(got) != 2 || got[0] != "learner-0/exitcode" || got[1] != "learner-1/exitcode" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestRemoveAndExists(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	v.Write("f", []byte("x"))
+	if !v.Exists("f") {
+		t.Fatal("file should exist")
+	}
+	v.Remove("f")
+	if v.Exists("f") {
+		t.Fatal("file should be gone")
+	}
+}
+
+func TestExitCodeConvention(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	if _, ok := v.ReadExitCode(0); ok {
+		t.Fatal("exit code present before termination")
+	}
+	v.WriteExitCode(0, 0)
+	v.WriteExitCode(1, 137) // OOM-killed learner
+	if code, ok := v.ReadExitCode(0); !ok || code != 0 {
+		t.Fatalf("learner 0 = (%d,%v)", code, ok)
+	}
+	if code, ok := v.ReadExitCode(1); !ok || code != 137 {
+		t.Fatalf("learner 1 = (%d,%v)", code, ok)
+	}
+}
+
+func TestExitCodeMalformed(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	v.Write(ExitCodePath(0), []byte("not-a-number"))
+	if _, ok := v.ReadExitCode(0); ok {
+		t.Fatal("malformed exit code parsed as ok")
+	}
+}
+
+func TestReleaseDeletesVolume(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Provision("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Release("job-1")
+	if _, err := s.Volume("job-1"); !errors.Is(err, ErrNoVolume) {
+		t.Fatalf("err = %v, want ErrNoVolume", err)
+	}
+	if names := s.VolumeNames(); len(names) != 0 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestDataIsolatedFromCallers(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	data := []byte("abc")
+	v.Write("f", data)
+	data[0] = 'X'
+	got, _ := v.Read("f")
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("volume aliased caller slice: %q", got)
+	}
+	got[0] = 'Y'
+	got2, _ := v.Read("f")
+	if !bytes.Equal(got2, []byte("abc")) {
+		t.Fatalf("volume aliased returned slice: %q", got2)
+	}
+}
+
+func TestConcurrentAppendsAllRecorded(t *testing.T) {
+	s := newTestServer(t)
+	v, _ := s.Provision("job-1")
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Append("log", []byte("x"))
+		}()
+	}
+	wg.Wait()
+	if got := v.Size("log"); got != n {
+		t.Fatalf("size = %d, want %d", got, n)
+	}
+}

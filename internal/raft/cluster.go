@@ -1,0 +1,126 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cluster manages a fixed-membership set of Raft nodes with crash/restart
+// support. It is the unit the etcd layer builds on (the paper's "ETCD
+// itself is replicated (3-way), and uses the Raft consensus protocol").
+type Cluster struct {
+	cfg   Config
+	trans *Transport
+
+	mu       sync.Mutex
+	ids      []int
+	storages map[int]*MemoryStorage
+	nodes    map[int]*Node // nil entry = crashed
+}
+
+// NewCluster boots n fresh nodes (IDs 0..n-1).
+func NewCluster(n int, cfg Config) *Cluster {
+	if n <= 0 {
+		panic("raft: cluster size must be positive")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		trans:    NewTransport(cfg.Clock, time.Millisecond),
+		storages: make(map[int]*MemoryStorage, n),
+		nodes:    make(map[int]*Node, n),
+	}
+	for i := 0; i < n; i++ {
+		c.ids = append(c.ids, i)
+	}
+	for _, id := range c.ids {
+		c.storages[id] = NewMemoryStorage()
+		c.nodes[id] = startNode(id, c.ids, cfg, c.storages[id], c.trans)
+	}
+	return c
+}
+
+// Transport exposes the message fabric for partition injection.
+func (c *Cluster) Transport() *Transport { return c.trans }
+
+// IDs returns the cluster membership.
+func (c *Cluster) IDs() []int {
+	out := make([]int, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// Node returns the live node with the given ID, or nil if crashed.
+func (c *Cluster) Node(id int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+// Crash stops the node, preserving its persistent storage.
+func (c *Cluster) Crash(id int) {
+	c.mu.Lock()
+	n := c.nodes[id]
+	c.nodes[id] = nil
+	c.mu.Unlock()
+	if n != nil {
+		n.stop()
+	}
+}
+
+// Restart boots a crashed node from its persisted state.
+func (c *Cluster) Restart(id int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nodes[id] != nil {
+		return c.nodes[id]
+	}
+	st, ok := c.storages[id]
+	if !ok {
+		panic(fmt.Sprintf("raft: unknown node %d", id))
+	}
+	n := startNode(id, c.ids, c.cfg, st, c.trans)
+	c.nodes[id] = n
+	return n
+}
+
+// Leader returns the current leader node, or nil if none is known.
+func (c *Cluster) Leader() *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n != nil && n.State() == Leader {
+			return n
+		}
+	}
+	return nil
+}
+
+// WaitLeader blocks until some node is leader or the deadline (in clock
+// time) passes. It returns the leader or nil on timeout.
+func (c *Cluster) WaitLeader(timeout time.Duration) *Node {
+	deadline := c.cfg.Clock.Now().Add(timeout)
+	for c.cfg.Clock.Now().Before(deadline) {
+		if l := c.Leader(); l != nil {
+			return l
+		}
+		c.cfg.Clock.Sleep(10 * time.Millisecond)
+	}
+	return c.Leader()
+}
+
+// Stop shuts down every live node.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	var live []*Node
+	for id, n := range c.nodes {
+		if n != nil {
+			live = append(live, n)
+			c.nodes[id] = nil
+		}
+	}
+	c.mu.Unlock()
+	for _, n := range live {
+		n.stop()
+	}
+}

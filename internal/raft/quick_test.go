@@ -1,0 +1,187 @@
+package raft
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestQuickCommittedPrefixAgreement: for random schedules of proposals
+// interleaved with crash/restart of random followers, every pair of
+// live nodes agrees on the committed prefix (State Machine Safety).
+func TestQuickCommittedPrefixAgreement(t *testing.T) {
+	f := func(schedule []uint8) bool {
+		if len(schedule) > 12 {
+			schedule = schedule[:12]
+		}
+		clk := clock.NewSim()
+		defer clk.Close()
+		c := NewCluster(3, DefaultConfig(clk))
+		defer c.Stop()
+
+		proposed := 0
+		for _, op := range schedule {
+			switch op % 4 {
+			case 0, 1, 2: // propose
+				if !proposeQuick(c, clk, fmt.Sprintf("v%d", proposed)) {
+					return false
+				}
+				proposed++
+			case 3: // crash+restart a non-leader
+				l := c.Leader()
+				for _, id := range c.IDs() {
+					if l == nil || id != l.ID() {
+						c.Crash(id)
+						c.Restart(id)
+						break
+					}
+				}
+			}
+		}
+		if proposed == 0 {
+			return true
+		}
+		// Wait for convergence: every live node applies all proposals.
+		applied := make(map[int][]Entry)
+		deadline := clk.Now().Add(30 * time.Second)
+		for clk.Now().Before(deadline) {
+			done := true
+			for _, id := range c.IDs() {
+				n := c.Node(id)
+				if n == nil {
+					continue
+				}
+				for len(applied[id]) < proposed {
+					select {
+					case a := <-n.ApplyCh():
+						applied[id] = append(applied[id], a.Entry)
+					default:
+					}
+					if len(applied[id]) < proposed {
+						done = false
+						break
+					}
+				}
+			}
+			if done {
+				break
+			}
+			clk.Sleep(20 * time.Millisecond)
+		}
+		// Check pairwise prefix agreement over what was applied.
+		ref := applied[0]
+		for _, id := range c.IDs()[1:] {
+			other := applied[id]
+			n := len(ref)
+			if len(other) < n {
+				n = len(other)
+			}
+			for i := 0; i < n; i++ {
+				if ref[i].Index != other[i].Index || ref[i].Term != other[i].Term ||
+					!bytes.Equal(ref[i].Cmd, other[i].Cmd) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLeaderAppendOnly: a leader never overwrites or deletes its
+// own log entries (Leader Append-Only property), observed across
+// repeated proposals.
+func TestQuickLeaderAppendOnly(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	c := NewCluster(3, DefaultConfig(clk))
+	defer c.Stop()
+
+	var prev []Entry
+	for i := 0; i < 10; i++ {
+		if !proposeQuick(c, clk, fmt.Sprintf("x%d", i)) {
+			t.Fatal("proposal failed")
+		}
+		l := c.Leader()
+		if l == nil {
+			continue
+		}
+		cur := l.Log()
+		if len(cur) < len(prev) {
+			t.Fatalf("leader log shrank: %d -> %d", len(prev), len(cur))
+		}
+		for j := range prev {
+			if prev[j].Term != cur[j].Term || !bytes.Equal(prev[j].Cmd, cur[j].Cmd) {
+				// A log prefix may legitimately change across leader
+				// changes, but not on a stable leader; tolerate only
+				// if leadership moved.
+				if cur[j].Term == prev[j].Term {
+					t.Fatalf("entry %d mutated within a term", j)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestQuickVotesArePersisted: a node never votes twice in the same term,
+// even across crash/restart (persistent votedFor).
+func TestQuickVotesArePersisted(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	c := NewCluster(5, DefaultConfig(clk))
+	defer c.Stop()
+
+	if c.WaitLeader(5*time.Second) == nil {
+		t.Fatal("no leader")
+	}
+	// Hammer crash/restart cycles; election safety is validated by the
+	// cluster continuing to make progress with a single leader per term.
+	for round := 0; round < 4; round++ {
+		id := round % 5
+		c.Crash(id)
+		clk.Sleep(50 * time.Millisecond)
+		c.Restart(id)
+		if !proposeQuick(c, clk, fmt.Sprintf("r%d", round)) {
+			t.Fatalf("round %d: cluster stopped accepting proposals", round)
+		}
+	}
+	leaders := 0
+	terms := make(map[uint64]int)
+	for _, id := range c.IDs() {
+		n := c.Node(id)
+		if n != nil && n.State() == Leader {
+			leaders++
+			terms[n.Term()]++
+			if terms[n.Term()] > 1 {
+				t.Fatal("two leaders in one term")
+			}
+		}
+	}
+	if leaders == 0 {
+		if c.WaitLeader(5*time.Second) == nil {
+			t.Fatal("no leader after churn")
+		}
+	}
+}
+
+// proposeQuick proposes on the current leader, retrying briefly.
+func proposeQuick(c *Cluster, clk *clock.Sim, cmd string) bool {
+	deadline := clk.Now().Add(10 * time.Second)
+	for clk.Now().Before(deadline) {
+		l := c.WaitLeader(2 * time.Second)
+		if l != nil {
+			if _, _, err := l.Propose([]byte(cmd)); err == nil {
+				return true
+			}
+		}
+		clk.Sleep(20 * time.Millisecond)
+	}
+	return false
+}

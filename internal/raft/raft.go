@@ -1,0 +1,757 @@
+// Package raft implements the Raft consensus protocol (Ongaro & Ousterhout,
+// USENIX ATC 2014): leader election, log replication, and commitment. It
+// backs the replicated etcd-style key-value store that the DLaaS platform
+// uses for reliable learner-status updates.
+//
+// The implementation is complete enough to exercise the paper's
+// dependability claims: a 3-way replicated store keeps accepting writes
+// while any minority of nodes is crashed, and crashed nodes recover from
+// their persisted term/vote/log state.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// State is the role a node currently plays.
+type State int
+
+// Raft node roles.
+const (
+	Follower State = iota + 1
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Entry is a single replicated log record.
+type Entry struct {
+	Index uint64
+	Term  uint64
+	Cmd   []byte
+}
+
+// Apply is delivered on the apply channel when an entry commits, or when
+// a leader installs a snapshot on a lagging follower (IsSnapshot set; the
+// application must replace its state with the snapshot contents).
+type Apply struct {
+	Entry Entry
+	// IsSnapshot marks a snapshot installation instead of an entry.
+	IsSnapshot bool
+	// Snapshot is the serialized application state through SnapIndex.
+	Snapshot []byte
+	// SnapIndex is the last log index the snapshot covers.
+	SnapIndex uint64
+}
+
+// ErrNotLeader is returned by Propose on non-leader nodes.
+var ErrNotLeader = errors.New("raft: not leader")
+
+// ErrStopped is returned when the node has been crashed or shut down.
+var ErrStopped = errors.New("raft: node stopped")
+
+// Config holds tunables shared by the nodes of one cluster.
+type Config struct {
+	// Clock drives all timeouts.
+	Clock clock.Clock
+	// ElectionTimeoutMin/Max bound the randomized follower timeout.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// HeartbeatInterval is the leader's AppendEntries cadence.
+	HeartbeatInterval time.Duration
+	// Seed makes election randomization reproducible.
+	Seed int64
+}
+
+// DefaultConfig mirrors etcd's stock timing (scaled for the simulation).
+func DefaultConfig(clk clock.Clock) Config {
+	return Config{
+		Clock:              clk,
+		ElectionTimeoutMin: 150 * time.Millisecond,
+		ElectionTimeoutMax: 300 * time.Millisecond,
+		HeartbeatInterval:  50 * time.Millisecond,
+		Seed:               1,
+	}
+}
+
+// Node is a single Raft participant.
+type Node struct {
+	id    int
+	peers []int
+	cfg   Config
+	store *MemoryStorage
+	trans *Transport
+
+	mu          sync.Mutex
+	state       State
+	currentTerm uint64
+	votedFor    int     // -1 = none
+	log         []Entry // entries with Index > snapIndex
+	snapIndex   uint64
+	snapTerm    uint64
+	snapshot    []byte
+	commitIndex uint64
+	lastApplied uint64
+	leaderID    int
+
+	// Leader volatile state.
+	nextIndex  map[int]uint64
+	matchIndex map[int]uint64
+	votes      map[int]bool
+
+	rng           *rand.Rand
+	electionTimer clock.Timer
+	heartbeatTick clock.Ticker
+
+	applyCh chan Apply
+	inbox   chan envelope
+	stopCh  chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+type envelope struct {
+	from int
+	msg  any
+}
+
+// message types exchanged between nodes.
+type (
+	requestVote struct {
+		Term         uint64
+		Candidate    int
+		LastLogIndex uint64
+		LastLogTerm  uint64
+	}
+	requestVoteResp struct {
+		Term    uint64
+		Granted bool
+	}
+	appendEntries struct {
+		Term         uint64
+		Leader       int
+		PrevLogIndex uint64
+		PrevLogTerm  uint64
+		Entries      []Entry
+		LeaderCommit uint64
+	}
+	appendEntriesResp struct {
+		Term       uint64
+		Success    bool
+		MatchIndex uint64
+		// ConflictIndex lets the leader back up nextIndex quickly.
+		ConflictIndex uint64
+	}
+	installSnapshot struct {
+		Term      uint64
+		Leader    int
+		LastIndex uint64
+		LastTerm  uint64
+		Data      []byte
+	}
+)
+
+// startNode boots a node from its persisted storage and begins its run
+// loop. Called by Cluster.
+func startNode(id int, peers []int, cfg Config, store *MemoryStorage, trans *Transport) *Node {
+	n := &Node{
+		id:         id,
+		peers:      peers,
+		cfg:        cfg,
+		store:      store,
+		trans:      trans,
+		state:      Follower,
+		votedFor:   -1,
+		leaderID:   -1,
+		nextIndex:  make(map[int]uint64),
+		matchIndex: make(map[int]uint64),
+		rng:        rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		applyCh:    make(chan Apply, 256),
+		inbox:      make(chan envelope, 256),
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	// Recover persisted state. Entries at or below the snapshot index
+	// were compacted away; applying resumes after the snapshot.
+	ps := store.Load()
+	n.currentTerm = ps.Term
+	n.votedFor = ps.VotedFor
+	n.log = append(n.log, ps.Log...)
+	n.snapIndex = ps.SnapIndex
+	n.snapTerm = ps.SnapTerm
+	n.snapshot = ps.Snapshot
+	n.commitIndex = ps.SnapIndex
+	n.lastApplied = ps.SnapIndex
+
+	trans.attach(id, n.inbox)
+	n.electionTimer = cfg.Clock.NewTimer(n.randomElectionTimeout())
+	go n.run()
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() int { return n.id }
+
+// ApplyCh delivers committed entries in log order.
+func (n *Node) ApplyCh() <-chan Apply { return n.applyCh }
+
+// Leader reports the node's current belief about the leader (-1 unknown).
+func (n *Node) Leader() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderID
+}
+
+// State returns the node's current role.
+func (n *Node) State() State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// Term returns the node's current term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.currentTerm
+}
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// Log returns a copy of the node's log (for verification in tests).
+func (n *Node) Log() []Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Entry, len(n.log))
+	copy(out, n.log)
+	return out
+}
+
+// Propose appends cmd to the replicated log if this node is the leader.
+// It returns the index and term assigned to the entry. Commitment is
+// reported asynchronously via ApplyCh.
+func (n *Node) Propose(cmd []byte) (index, term uint64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return 0, 0, ErrStopped
+	}
+	if n.state != Leader {
+		return 0, 0, ErrNotLeader
+	}
+	e := Entry{Index: n.lastIndexLocked() + 1, Term: n.currentTerm, Cmd: cmd}
+	n.log = append(n.log, e)
+	n.persistLocked()
+	n.matchIndex[n.id] = e.Index
+	// Replicate eagerly rather than waiting for the heartbeat tick.
+	n.broadcastAppendLocked()
+	return e.Index, e.Term, nil
+}
+
+// stop terminates the run loop. The storage object survives, so a
+// subsequent startNode with the same storage models a crash-restart.
+func (n *Node) stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	close(n.stopCh)
+	n.mu.Unlock()
+	<-n.done
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	for {
+		var hb <-chan time.Time
+		n.mu.Lock()
+		if n.heartbeatTick != nil {
+			hb = n.heartbeatTick.C()
+		}
+		n.mu.Unlock()
+
+		select {
+		case <-n.stopCh:
+			n.mu.Lock()
+			n.electionTimer.Stop()
+			if n.heartbeatTick != nil {
+				n.heartbeatTick.Stop()
+			}
+			n.trans.detach(n.id)
+			n.mu.Unlock()
+			return
+		case env := <-n.inbox:
+			n.handle(env)
+		case <-n.electionTimer.C():
+			n.onElectionTimeout()
+		case <-hb:
+			n.mu.Lock()
+			if n.state == Leader {
+				n.broadcastAppendLocked()
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+func (n *Node) randomElectionTimeout() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	spread := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	return n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63n(int64(spread)+1))
+}
+
+func (n *Node) resetElectionTimerLocked() {
+	spread := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63n(int64(spread)+1))
+	n.electionTimer.Stop()
+	n.electionTimer.Reset(d)
+}
+
+func (n *Node) onElectionTimeout() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == Leader {
+		return // stale timer
+	}
+	// Become candidate for a new term.
+	n.currentTerm++
+	n.state = Candidate
+	n.votedFor = n.id
+	n.leaderID = -1
+	n.votes = map[int]bool{n.id: true}
+	n.persistLocked()
+	n.resetElectionTimerLocked()
+
+	lastIdx := n.lastIndexLocked()
+	lastTerm := n.termAtLocked(lastIdx)
+	req := requestVote{
+		Term:         n.currentTerm,
+		Candidate:    n.id,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  lastTerm,
+	}
+	for _, p := range n.peers {
+		if p != n.id {
+			n.trans.send(n.id, p, req)
+		}
+	}
+	// Single-node cluster wins immediately.
+	n.maybeBecomeLeaderLocked()
+}
+
+func (n *Node) handle(env envelope) {
+	switch msg := env.msg.(type) {
+	case requestVote:
+		n.handleRequestVote(env.from, msg)
+	case requestVoteResp:
+		n.handleRequestVoteResp(env.from, msg)
+	case appendEntries:
+		n.handleAppendEntries(env.from, msg)
+	case appendEntriesResp:
+		n.handleAppendEntriesResp(env.from, msg)
+	case installSnapshot:
+		n.handleInstallSnapshot(env.from, msg)
+	}
+}
+
+// handleInstallSnapshot replaces a lagging follower's state with the
+// leader's snapshot.
+func (n *Node) handleInstallSnapshot(from int, msg installSnapshot) {
+	n.mu.Lock()
+	if msg.Term > n.currentTerm ||
+		(msg.Term == n.currentTerm && n.state != Follower) {
+		n.becomeFollowerLocked(msg.Term, msg.Leader)
+	}
+	if msg.Term < n.currentTerm {
+		resp := appendEntriesResp{Term: n.currentTerm, Success: false}
+		n.mu.Unlock()
+		n.trans.send(n.id, from, resp)
+		return
+	}
+	n.leaderID = msg.Leader
+	n.resetElectionTimerLocked()
+
+	if msg.LastIndex <= n.commitIndex {
+		// Stale snapshot: we already have everything it covers.
+		resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: n.commitIndex}
+		n.mu.Unlock()
+		n.trans.send(n.id, from, resp)
+		return
+	}
+	// Discard the log and adopt the snapshot wholesale.
+	n.log = nil
+	n.snapIndex = msg.LastIndex
+	n.snapTerm = msg.LastTerm
+	n.snapshot = append([]byte(nil), msg.Data...)
+	n.commitIndex = msg.LastIndex
+	n.lastApplied = msg.LastIndex
+	n.persistLocked()
+	apply := Apply{IsSnapshot: true, Snapshot: append([]byte(nil), msg.Data...), SnapIndex: msg.LastIndex}
+	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: msg.LastIndex}
+	n.mu.Unlock()
+
+	n.deliver([]Apply{apply})
+	n.trans.send(n.id, from, resp)
+}
+
+func (n *Node) handleRequestVote(from int, msg requestVote) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Term > n.currentTerm {
+		n.becomeFollowerLocked(msg.Term, -1)
+	}
+	granted := false
+	if msg.Term == n.currentTerm && (n.votedFor == -1 || n.votedFor == msg.Candidate) {
+		// Election restriction: candidate's log must be at least as
+		// up-to-date as ours (§5.4.1).
+		lastIdx := n.lastIndexLocked()
+		lastTerm := n.termAtLocked(lastIdx)
+		if msg.LastLogTerm > lastTerm ||
+			(msg.LastLogTerm == lastTerm && msg.LastLogIndex >= lastIdx) {
+			granted = true
+			n.votedFor = msg.Candidate
+			n.persistLocked()
+			n.resetElectionTimerLocked()
+		}
+	}
+	n.trans.send(n.id, from, requestVoteResp{Term: n.currentTerm, Granted: granted})
+}
+
+func (n *Node) handleRequestVoteResp(from int, msg requestVoteResp) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Term > n.currentTerm {
+		n.becomeFollowerLocked(msg.Term, -1)
+		return
+	}
+	if n.state != Candidate || msg.Term != n.currentTerm || !msg.Granted {
+		return
+	}
+	n.votes[from] = true
+	n.maybeBecomeLeaderLocked()
+}
+
+func (n *Node) maybeBecomeLeaderLocked() {
+	if n.state != Candidate || len(n.votes) <= len(n.peers)/2 {
+		return
+	}
+	n.state = Leader
+	n.leaderID = n.id
+	for _, p := range n.peers {
+		n.nextIndex[p] = n.lastIndexLocked() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.id] = n.lastIndexLocked()
+	if n.heartbeatTick != nil {
+		n.heartbeatTick.Stop()
+	}
+	n.heartbeatTick = n.cfg.Clock.NewTicker(n.cfg.HeartbeatInterval)
+	n.electionTimer.Stop()
+	// Announce leadership immediately.
+	n.broadcastAppendLocked()
+}
+
+func (n *Node) becomeFollowerLocked(term uint64, leader int) {
+	wasLeader := n.state == Leader
+	n.state = Follower
+	if term > n.currentTerm {
+		n.currentTerm = term
+		n.votedFor = -1
+		n.persistLocked()
+	}
+	n.leaderID = leader
+	if wasLeader && n.heartbeatTick != nil {
+		n.heartbeatTick.Stop()
+		n.heartbeatTick = nil
+	}
+	n.resetElectionTimerLocked()
+}
+
+func (n *Node) handleAppendEntries(from int, msg appendEntries) {
+	n.mu.Lock()
+	if msg.Term > n.currentTerm ||
+		(msg.Term == n.currentTerm && n.state != Follower) {
+		n.becomeFollowerLocked(msg.Term, msg.Leader)
+	}
+	if msg.Term < n.currentTerm {
+		resp := appendEntriesResp{Term: n.currentTerm, Success: false}
+		n.mu.Unlock()
+		n.trans.send(n.id, from, resp)
+		return
+	}
+	// Valid leader for our term.
+	n.leaderID = msg.Leader
+	n.resetElectionTimerLocked()
+
+	// Log consistency check. Anything at or below the snapshot index is
+	// committed state here, so a PrevLogIndex inside the snapshot is
+	// consistent by construction.
+	consistent := msg.PrevLogIndex <= n.snapIndex ||
+		(msg.PrevLogIndex <= n.lastIndexLocked() &&
+			n.termAtLocked(msg.PrevLogIndex) == msg.PrevLogTerm)
+	if !consistent {
+		conflict := msg.PrevLogIndex
+		if last := n.lastIndexLocked(); conflict > last+1 {
+			conflict = last + 1
+		}
+		if conflict == 0 {
+			conflict = 1
+		}
+		resp := appendEntriesResp{Term: n.currentTerm, Success: false, ConflictIndex: conflict}
+		n.mu.Unlock()
+		n.trans.send(n.id, from, resp)
+		return
+	}
+	// Append new entries, truncating on conflict (§5.3). Entries at or
+	// below the snapshot index are already committed and compacted.
+	for _, e := range msg.Entries {
+		if e.Index <= n.snapIndex {
+			continue
+		}
+		if e.Index <= n.lastIndexLocked() {
+			if n.termAtLocked(e.Index) != e.Term {
+				n.log = n.log[:e.Index-n.snapIndex-1]
+				n.log = append(n.log, e)
+			}
+		} else {
+			n.log = append(n.log, e)
+		}
+	}
+	if len(msg.Entries) > 0 {
+		n.persistLocked()
+	}
+	// Advance commit index.
+	if msg.LeaderCommit > n.commitIndex {
+		last := n.lastIndexLocked()
+		n.commitIndex = msg.LeaderCommit
+		if n.commitIndex > last {
+			n.commitIndex = last
+		}
+	}
+	match := msg.PrevLogIndex + uint64(len(msg.Entries))
+	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match}
+	applies := n.takeAppliesLocked()
+	n.mu.Unlock()
+
+	n.deliver(applies)
+	n.trans.send(n.id, from, resp)
+}
+
+func (n *Node) handleAppendEntriesResp(from int, msg appendEntriesResp) {
+	n.mu.Lock()
+	if msg.Term > n.currentTerm {
+		n.becomeFollowerLocked(msg.Term, -1)
+		n.mu.Unlock()
+		return
+	}
+	if n.state != Leader || msg.Term != n.currentTerm {
+		n.mu.Unlock()
+		return
+	}
+	if msg.Success {
+		if msg.MatchIndex > n.matchIndex[from] {
+			n.matchIndex[from] = msg.MatchIndex
+		}
+		n.nextIndex[from] = n.matchIndex[from] + 1
+		n.advanceCommitLocked()
+	} else {
+		// Back up and retry.
+		next := msg.ConflictIndex
+		if next == 0 || next >= n.nextIndex[from] {
+			if n.nextIndex[from] > 1 {
+				next = n.nextIndex[from] - 1
+			} else {
+				next = 1
+			}
+		}
+		n.nextIndex[from] = next
+		n.sendAppendLocked(from)
+	}
+	applies := n.takeAppliesLocked()
+	n.mu.Unlock()
+	n.deliver(applies)
+}
+
+// advanceCommitLocked moves commitIndex to the highest index replicated on
+// a majority whose entry is from the current term (§5.4.2).
+func (n *Node) advanceCommitLocked() {
+	matches := make([]uint64, 0, len(n.peers))
+	for _, p := range n.peers {
+		matches = append(matches, n.matchIndex[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	majority := matches[len(n.peers)/2]
+	if majority > n.commitIndex && n.termAtLocked(majority) == n.currentTerm {
+		n.commitIndex = majority
+	}
+}
+
+func (n *Node) broadcastAppendLocked() {
+	for _, p := range n.peers {
+		if p != n.id {
+			n.sendAppendLocked(p)
+		}
+	}
+	// A single-node cluster commits by itself.
+	n.advanceCommitLocked()
+	applies := n.takeAppliesLocked()
+	if len(applies) > 0 {
+		go n.deliver(applies)
+	}
+}
+
+func (n *Node) sendAppendLocked(to int) {
+	next := n.nextIndex[to]
+	if next == 0 {
+		next = 1
+	}
+	if next <= n.snapIndex {
+		// The follower needs entries that were compacted away: ship the
+		// snapshot instead (§7, InstallSnapshot).
+		n.trans.send(n.id, to, installSnapshot{
+			Term:      n.currentTerm,
+			Leader:    n.id,
+			LastIndex: n.snapIndex,
+			LastTerm:  n.snapTerm,
+			Data:      append([]byte(nil), n.snapshot...),
+		})
+		return
+	}
+	prevIdx := next - 1
+	msg := appendEntries{
+		Term:         n.currentTerm,
+		Leader:       n.id,
+		PrevLogIndex: prevIdx,
+		PrevLogTerm:  n.termAtLocked(prevIdx),
+		LeaderCommit: n.commitIndex,
+	}
+	if n.lastIndexLocked() >= next {
+		entries := n.log[next-n.snapIndex-1:]
+		msg.Entries = make([]Entry, len(entries))
+		copy(msg.Entries, entries)
+	}
+	n.trans.send(n.id, to, msg)
+}
+
+// takeAppliesLocked collects newly committed entries for delivery.
+func (n *Node) takeAppliesLocked() []Apply {
+	var out []Apply
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		e := n.entryAtLocked(n.lastApplied)
+		out = append(out, Apply{Entry: e})
+	}
+	return out
+}
+
+// deliver pushes applies in order, dropping them if the node stops first.
+func (n *Node) deliver(applies []Apply) {
+	for _, a := range applies {
+		select {
+		case n.applyCh <- a:
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func (n *Node) lastIndexLocked() uint64 { return n.snapIndex + uint64(len(n.log)) }
+
+func (n *Node) termAtLocked(idx uint64) uint64 {
+	switch {
+	case idx == n.snapIndex:
+		return n.snapTerm
+	case idx > n.snapIndex && idx <= n.lastIndexLocked():
+		return n.log[idx-n.snapIndex-1].Term
+	default:
+		return 0
+	}
+}
+
+// entryAtLocked returns the log entry at idx (idx must be in
+// (snapIndex, lastIndex]).
+func (n *Node) entryAtLocked(idx uint64) Entry {
+	return n.log[idx-n.snapIndex-1]
+}
+
+func (n *Node) persistLocked() {
+	n.store.Save(PersistentState{
+		Term:      n.currentTerm,
+		VotedFor:  n.votedFor,
+		Log:       n.log,
+		SnapIndex: n.snapIndex,
+		SnapTerm:  n.snapTerm,
+		Snapshot:  n.snapshot,
+	})
+}
+
+// Compact discards log entries through index, recording snapshot as the
+// application state at that point (§7 of the Raft paper). index must not
+// exceed the node's applied index; compacting at or below the current
+// snapshot is a no-op.
+func (n *Node) Compact(index uint64, snapshot []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if index <= n.snapIndex {
+		return nil
+	}
+	if index > n.lastApplied {
+		return fmt.Errorf("raft: compact index %d beyond applied %d", index, n.lastApplied)
+	}
+	term := n.termAtLocked(index)
+	tail := make([]Entry, len(n.log[index-n.snapIndex:]))
+	copy(tail, n.log[index-n.snapIndex:])
+	n.log = tail
+	n.snapIndex = index
+	n.snapTerm = term
+	n.snapshot = append([]byte(nil), snapshot...)
+	n.persistLocked()
+	return nil
+}
+
+// Snapshot returns the node's persisted snapshot and the index it covers
+// (nil, 0 when no compaction has happened). Applications restore from it
+// before consuming the apply channel after a restart.
+func (n *Node) Snapshot() ([]byte, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.snapIndex == 0 {
+		return nil, 0
+	}
+	return append([]byte(nil), n.snapshot...), n.snapIndex
+}
+
+// LogLen reports the in-memory (uncompacted) log length.
+func (n *Node) LogLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.log)
+}

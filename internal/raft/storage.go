@@ -1,0 +1,69 @@
+package raft
+
+import "sync"
+
+// PersistentState is what a node must not lose across crashes (§5.1 of the
+// Raft paper): its term, vote, and log — plus the compaction snapshot
+// (§7): the application state through SnapIndex, which replaces all log
+// entries at or below it.
+type PersistentState struct {
+	Term     uint64
+	VotedFor int
+	// Log holds entries with Index > SnapIndex.
+	Log []Entry
+	// SnapIndex/SnapTerm identify the last entry covered by Snapshot.
+	SnapIndex uint64
+	SnapTerm  uint64
+	// Snapshot is the application state machine serialized at SnapIndex.
+	Snapshot []byte
+}
+
+// MemoryStorage models a node's durable disk. It survives node crashes
+// (the Node object is discarded; the storage is reused on restart) but not
+// "disk loss", which Raft does not tolerate.
+type MemoryStorage struct {
+	mu    sync.Mutex
+	state PersistentState
+	saves int
+}
+
+// NewMemoryStorage returns an empty store for a fresh node.
+func NewMemoryStorage() *MemoryStorage {
+	return &MemoryStorage{state: PersistentState{VotedFor: -1}}
+}
+
+// Save atomically persists the node's state.
+func (m *MemoryStorage) Save(s PersistentState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	logCopy := make([]Entry, len(s.Log))
+	copy(logCopy, s.Log)
+	s.Log = logCopy
+	snapCopy := make([]byte, len(s.Snapshot))
+	copy(snapCopy, s.Snapshot)
+	s.Snapshot = snapCopy
+	m.state = s
+	m.saves++
+}
+
+// Load returns the last persisted state.
+func (m *MemoryStorage) Load() PersistentState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.state
+	logCopy := make([]Entry, len(s.Log))
+	copy(logCopy, s.Log)
+	s.Log = logCopy
+	snapCopy := make([]byte, len(s.Snapshot))
+	copy(snapCopy, s.Snapshot)
+	s.Snapshot = snapCopy
+	return s
+}
+
+// Saves reports how many times Save was called (write-amplification
+// metric used by the ablation benches).
+func (m *MemoryStorage) Saves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}

@@ -1,0 +1,109 @@
+package raft
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Transport delivers messages between the nodes of one cluster. Delivery
+// is asynchronous with a small modeled latency; messages to crashed
+// (detached) or partitioned nodes are dropped, which is exactly the
+// failure model Raft is designed for.
+type Transport struct {
+	clk     clock.Clock
+	latency time.Duration
+
+	mu          sync.Mutex
+	inboxes     map[int]chan<- envelope
+	partitioned map[int]bool
+	dropped     int
+}
+
+// NewTransport creates an empty transport on clk with per-message latency d.
+func NewTransport(clk clock.Clock, d time.Duration) *Transport {
+	return &Transport{
+		clk:         clk,
+		latency:     d,
+		inboxes:     make(map[int]chan<- envelope),
+		partitioned: make(map[int]bool),
+	}
+}
+
+func (t *Transport) attach(id int, inbox chan<- envelope) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inboxes[id] = inbox
+}
+
+func (t *Transport) detach(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.inboxes, id)
+}
+
+// Partition isolates id: messages to and from it are dropped until healed.
+func (t *Transport) Partition(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitioned[id] = true
+}
+
+// Heal reconnects id to the rest of the cluster.
+func (t *Transport) Heal(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.partitioned, id)
+}
+
+// Dropped reports how many messages were discarded (crashed or
+// partitioned destinations, full inboxes).
+func (t *Transport) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// send delivers msg from -> to after the modeled latency. Lossy by design.
+func (t *Transport) send(from, to int, msg any) {
+	t.mu.Lock()
+	inbox, ok := t.inboxes[to]
+	blocked := t.partitioned[from] || t.partitioned[to]
+	if !ok || blocked {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+
+	env := envelope{from: from, msg: msg}
+	if t.latency <= 0 {
+		t.deliver(to, inbox, env)
+		return
+	}
+	t.clk.AfterFunc(t.latency, func() { t.deliver(to, inbox, env) })
+}
+
+func (t *Transport) deliver(to int, inbox chan<- envelope, env envelope) {
+	// Re-check liveness at delivery time: the destination may have
+	// crashed while the message was in flight.
+	t.mu.Lock()
+	cur, ok := t.inboxes[to]
+	blocked := t.partitioned[to]
+	t.mu.Unlock()
+	if !ok || cur != inbox || blocked {
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	select {
+	case inbox <- env:
+	default:
+		// Inbox overflow models packet loss under overload.
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+	}
+}

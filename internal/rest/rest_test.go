@@ -1,0 +1,302 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	dlaas "repro"
+)
+
+type fixture struct {
+	p      *dlaas.Platform
+	srv    *httptest.Server
+	client *http.Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	p, err := dlaas.New(dlaas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(p))
+	t.Cleanup(func() {
+		srv.Close()
+		p.Close()
+	})
+	return &fixture{p: p, srv: srv, client: srv.Client()}
+}
+
+func (f *fixture) do(t *testing.T, method, path, tenant string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, f.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func (f *fixture) manifest(t *testing.T, tenant string) *dlaas.Manifest {
+	t.Helper()
+	creds := dlaas.Credentials{AccessKey: tenant, SecretKey: tenant + "-secret"}
+	data, err := f.p.CreateDataset("data-"+tenant, "train.rec", 1<<30, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.p.CreateResultsBucket("results-"+tenant, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dlaas.Manifest{
+		Name: "rest-job", Framework: "tensorflow", Model: "resnet50",
+		Learners: 1, GPUsPerLearner: 1, BatchPerGPU: 32,
+		Epochs: 1, DatasetImages: 4000,
+		TrainingData: data, Results: results,
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp, raw := f.do(t, "GET", "/v1/health", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "ok") {
+		t.Fatalf("body = %s", raw)
+	}
+}
+
+func TestSubmitRequiresTenant(t *testing.T) {
+	f := newFixture(t)
+	resp, _ := f.do(t, "POST", "/v1/models", "", f.manifest(t, "anon"))
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestSubmitInvalidManifest(t *testing.T) {
+	f := newFixture(t)
+	m := f.manifest(t, "bad")
+	m.Framework = "fortran"
+	resp, raw := f.do(t, "POST", "/v1/models", "bad", m)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+}
+
+func TestFullJobOverREST(t *testing.T) {
+	f := newFixture(t)
+	m := f.manifest(t, "alice")
+
+	// Submit.
+	resp, raw := f.do(t, "POST", "/v1/models", "alice", m)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d (%s)", resp.StatusCode, raw)
+	}
+	var sub SubmitResult
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.JobID == "" || sub.State != "QUEUED" {
+		t.Fatalf("submit result = %+v", sub)
+	}
+
+	// Poll status to completion (virtual clock advances on its own).
+	deadline := time.Now().Add(2 * time.Minute) // real time bound
+	var rec dlaas.JobRecord
+	for time.Now().Before(deadline) {
+		resp, raw = f.do(t, "GET", "/v1/models/"+sub.JobID, "alice", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status code = %d (%s)", resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.State.Terminal() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rec.State != dlaas.StateCompleted {
+		t.Fatalf("final state = %s (%s)", rec.State, rec.Reason)
+	}
+
+	// Logs.
+	resp, raw = f.do(t, "GET", "/v1/models/"+sub.JobID+"/logs?learner=0", "alice", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "training complete") {
+		t.Fatalf("logs = %d: %s", resp.StatusCode, raw)
+	}
+
+	// Events.
+	resp, raw = f.do(t, "GET", "/v1/models/"+sub.JobID+"/events", "alice", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	var events []dlaas.Event
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("events = %v", events)
+	}
+
+	// Metrics.
+	resp, raw = f.do(t, "GET", "/v1/models/"+sub.JobID+"/metrics?learner=0", "alice", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	var points []dlaas.MetricPoint
+	if err := json.Unmarshal(raw, &points); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no metric points")
+	}
+
+	// List.
+	resp, raw = f.do(t, "GET", "/v1/models", "alice", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	var recs []dlaas.JobRecord
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != sub.JobID {
+		t.Fatalf("list = %+v", recs)
+	}
+}
+
+func TestCrossTenantForbidden(t *testing.T) {
+	f := newFixture(t)
+	m := f.manifest(t, "owner")
+	resp, raw := f.do(t, "POST", "/v1/models", "owner", m)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d (%s)", resp.StatusCode, raw)
+	}
+	var sub SubmitResult
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = f.do(t, "GET", "/v1/models/"+sub.JobID, "intruder", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant read = %d, want 403", resp.StatusCode)
+	}
+	resp, _ = f.do(t, "DELETE", "/v1/models/"+sub.JobID, "intruder", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant halt = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestUnknownJob404(t *testing.T) {
+	f := newFixture(t)
+	resp, _ := f.do(t, "GET", "/v1/models/job-999999", "x", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHaltOverREST(t *testing.T) {
+	f := newFixture(t)
+	m := f.manifest(t, "haltr")
+	m.DatasetImages = 500000 // long job
+	resp, raw := f.do(t, "POST", "/v1/models", "haltr", m)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var sub SubmitResult
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it trains, then halt.
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		_, raw = f.do(t, "GET", "/v1/models/"+sub.JobID, "haltr", nil)
+		var rec dlaas.JobRecord
+		if err := json.Unmarshal(raw, &rec); err == nil && rec.State == dlaas.StateProcessing {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, raw = f.do(t, "DELETE", "/v1/models/"+sub.JobID, "haltr", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("halt = %d (%s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "HALTED") {
+		t.Fatalf("halt body = %s", raw)
+	}
+}
+
+func TestClusterInfoEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp, raw := f.do(t, "GET", "/v1/cluster", "ops", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var info dlaas.ClusterInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 4 || info.TotalGPUs != 16 || info.FreeGPUs != 16 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	// Generate some metered traffic first.
+	if resp, _ := f.do(t, "GET", "/v1/cluster", "ops", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("cluster call failed")
+	}
+	resp, raw := f.do(t, "GET", "/v1/admin/metrics", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "api_requests_total") {
+		t.Fatalf("metrics snapshot missing counters:\n%s", raw)
+	}
+}
+
+func TestBadLearnerParam(t *testing.T) {
+	f := newFixture(t)
+	m := f.manifest(t, "lp")
+	resp, raw := f.do(t, "POST", "/v1/models", "lp", m)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var sub SubmitResult
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = f.do(t, "GET", fmt.Sprintf("/v1/models/%s/logs?learner=-1", sub.JobID), "lp", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad learner param = %d, want 400", resp.StatusCode)
+	}
+}

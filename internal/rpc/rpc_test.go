@@ -1,0 +1,170 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func newTestBus() (*Bus, *clock.Sim) {
+	clk := clock.NewSim()
+	return NewBus(clk), clk
+}
+
+func echoHandler(id string) Handler {
+	return func(_ context.Context, method string, req any) (any, error) {
+		return fmt.Sprintf("%s:%s:%v", id, method, req), nil
+	}
+}
+
+func TestCallUnknownService(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	_, err := b.Call(context.Background(), "nope", "m", nil)
+	if !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("err = %v, want ErrNotRegistered", err)
+	}
+}
+
+func TestCallRoundRobin(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	b.Register("api", "a", echoHandler("a"))
+	b.Register("api", "b", echoHandler("b"))
+
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		resp, err := b.Call(context.Background(), "api", "status", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[resp.(string)[:1]]++
+	}
+	if seen["a"] != 3 || seen["b"] != 3 {
+		t.Fatalf("round robin distribution = %v, want 3/3", seen)
+	}
+}
+
+func TestFailoverSkipsCrashedInstance(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	ra := b.Register("api", "a", echoHandler("a"))
+	b.Register("api", "b", echoHandler("b"))
+
+	ra.SetUp(false)
+	for i := 0; i < 4; i++ {
+		resp, err := b.Call(context.Background(), "api", "m", nil)
+		if err != nil {
+			t.Fatalf("call %d failed: %v", i, err)
+		}
+		if resp.(string)[:1] != "b" {
+			t.Fatalf("call %d routed to crashed instance: %v", i, resp)
+		}
+	}
+	if got := b.HealthyInstances("api"); got != 1 {
+		t.Fatalf("healthy = %d, want 1", got)
+	}
+}
+
+func TestAllInstancesDown(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	ra := b.Register("api", "a", echoHandler("a"))
+	ra.SetUp(false)
+	_, err := b.Call(context.Background(), "api", "m", nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRecoveryAfterRestart(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	ra := b.Register("api", "a", echoHandler("a"))
+	ra.SetUp(false)
+	if _, err := b.Call(context.Background(), "api", "m", nil); err == nil {
+		t.Fatal("expected unavailability while crashed")
+	}
+	ra.SetUp(true) // K8s restarted the pod
+	if _, err := b.Call(context.Background(), "api", "m", nil); err != nil {
+		t.Fatalf("call after recovery failed: %v", err)
+	}
+}
+
+func TestDeregisterRemovesPermanently(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	ra := b.Register("api", "a", echoHandler("a"))
+	ra.Deregister()
+	ra.SetUp(true) // must not resurrect a deregistered instance
+	_, err := b.Call(context.Background(), "api", "m", nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	sentinel := errors.New("boom")
+	b.Register("api", "a", func(context.Context, string, any) (any, error) {
+		return nil, sentinel
+	})
+	_, err := b.Call(context.Background(), "api", "m", nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	b.Register("api", "a", echoHandler("a"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := b.Call(ctx, "api", "m", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCallChargesLatency(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	b := NewBus(clk, WithCallLatency(defaultCallLatency))
+	b.Register("api", "a", echoHandler("a"))
+	start := clk.Now()
+	if _, err := b.Call(context.Background(), "api", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Since(start); got < 2*defaultCallLatency {
+		t.Fatalf("virtual latency = %v, want >= %v", got, 2*defaultCallLatency)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	b.Register("api", "a", echoHandler("a"))
+	b.Register("api", "b", echoHandler("b"))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Call(context.Background(), "api", "m", i); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package dlaas
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProgressGraphClean verifies a never-crashed job's progress graph:
+// monotone images, decreasing loss trend, zero restarts.
+func TestProgressGraphClean(t *testing.T) {
+	p := newTestPlatform(t, Options{})
+	client := p.Client("graph1")
+	m := testManifest(t, p, "graph1", 1)
+	m.DatasetImages = 12000
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 6*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	points, err := client.Metrics(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("points = %d, want >= 2", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Images < points[i-1].Images {
+			t.Fatalf("clean run has image rollback at %d: %v -> %v",
+				i, points[i-1].Images, points[i].Images)
+		}
+		if points[i].ClusterSeconds < points[i-1].ClusterSeconds {
+			t.Fatal("time not monotone")
+		}
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.Loss >= first.Loss {
+		t.Fatalf("loss did not trend down: %.3f -> %.3f", first.Loss, last.Loss)
+	}
+}
+
+// TestProgressGraphShowsRestart verifies the paper's observation:
+// "training progress graphs differ (slightly) between a job that never
+// experienced a failure and a job that did" — a crashed-and-recovered
+// learner's graph contains a rollback to the last checkpoint.
+func TestProgressGraphShowsRestart(t *testing.T) {
+	p := newTestPlatform(t, Options{})
+	client := p.Client("graph2")
+	m := testManifest(t, p, "graph2", 1)
+	m.DatasetImages = 30000
+	m.CheckpointInterval = time.Minute
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	// Train well past a checkpoint, then crash the learner pod.
+	clk := p.Clock()
+	clk.Sleep(3 * time.Minute)
+	pods := p.Cluster().Pods(map[string]string{"app": "dlaas-learner", "job": id})
+	if len(pods) != 1 {
+		t.Fatalf("learner pods = %d", len(pods))
+	}
+	if err := p.Cluster().DeletePod(pods[0].Name()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 12*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	points, err := client.Metrics(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollback := false
+	for i := 1; i < len(points); i++ {
+		if points[i].Images < points[i-1].Images {
+			rollback = true
+			// The rollback is bounded by the checkpoint interval's
+			// worth of images (plus one reporting chunk).
+			lost := points[i-1].Images - points[i].Images
+			if lost <= 0 {
+				t.Fatal("zero-size rollback recorded")
+			}
+		}
+	}
+	if !rollback {
+		t.Fatal("restarted job's progress graph shows no rollback — indistinguishable from a clean run")
+	}
+}
