@@ -250,6 +250,92 @@ func BenchmarkSchedulerPlacement(b *testing.B) {
 	}
 }
 
+// BenchmarkGangScheduler measures the gang scheduler under a mixed
+// 1/2/4-learner workload on a 16-node (64 GPU) cluster: mean placement
+// latency (virtual time from submission to atomic admission of the whole
+// gang) and mean cluster GPU utilization while the queue drains.
+func BenchmarkGangScheduler(b *testing.B) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	nodes := make([]kube.NodeSpec, 16)
+	for i := range nodes {
+		nodes[i] = kube.NodeSpec{Name: fmt.Sprintf("n%02d", i), GPUs: 4, GPUType: "K80"}
+	}
+	c := kube.NewCluster(kube.Config{Clock: clk}, nodes...)
+	defer c.Stop()
+	const totalGPUs = 16 * 4
+	const memberRuntime = 30 * time.Second // virtual training time per member
+	memberCounts := []int{1, 2, 4}
+
+	var utilSum float64
+	utilSamples := 0
+	sampleUtil := func() {
+		utilSum += float64(totalGPUs-c.FreeGPUs("")) / totalGPUs
+		utilSamples++
+	}
+
+	b.ResetTimer()
+	gangs := make([]*kube.Gang, b.N)
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bgang-%d", i)
+		members := memberCounts[i%len(memberCounts)]
+		g, err := c.SubmitGang(kube.GangSpec{
+			Name: name, Tenant: fmt.Sprintf("team-%d", i%8),
+			Members: members, GPUsPerMember: 1, GPUType: "K80",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gangs[i] = g
+		for m := 0; m < members; m++ {
+			spec := kube.PodSpec{
+				Name:          fmt.Sprintf("%s-%d", name, m),
+				Gang:          name,
+				GPUs:          1,
+				GPUType:       "K80",
+				RestartPolicy: kube.RestartNever,
+				Labels:        map[string]string{"bgang": name},
+				Containers: []kube.ContainerSpec{{
+					Name: "learn",
+					Run:  func(ctx *kube.ContainerCtx) int { ctx.Sleep(memberRuntime); return 0 },
+				}},
+			}
+			if _, err := c.CreatePod(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clk.Sleep(250 * time.Millisecond) // submission cadence
+		sampleUtil()
+	}
+	// Drain: release each gang once its members finish, so queued gangs
+	// admit; sample utilization as the backlog clears.
+	for {
+		live := 0
+		for _, g := range gangs {
+			if c.GangByName(g.Name()) == nil {
+				continue
+			}
+			live++
+			state := g.State()
+			drained := len(c.Pods(map[string]string{"bgang": g.Name()})) == 0
+			if (state == kube.GangAdmitted && drained) || state == kube.GangPreempted {
+				c.CancelGang(g.Name())
+			}
+		}
+		if live == 0 {
+			break
+		}
+		clk.Sleep(time.Second)
+		sampleUtil()
+	}
+	var latency time.Duration
+	for _, g := range gangs {
+		latency += g.PlacementLatency()
+	}
+	b.ReportMetric(float64(latency.Milliseconds())/float64(b.N), "placement-ms/gang")
+	b.ReportMetric(utilSum/float64(utilSamples)*100, "gpu-util-%")
+}
+
 // BenchmarkTrainsimStepTime measures the analytic model itself (it backs
 // every learner's pacing decisions, so it must be cheap).
 func BenchmarkTrainsimStepTime(b *testing.B) {

@@ -66,6 +66,9 @@ func PolicyName(jobID string) string { return "netpol-" + jobID }
 // KubeJobName is the Kubernetes Job that hosts the Guardian itself.
 func KubeJobName(jobID string) string { return "guardian-" + jobID }
 
+// GangName is the job's learner pod group in the gang scheduler.
+func GangName(jobID string) string { return "gang-" + jobID }
+
 // journal is the Guardian's etcd-persisted deployment record.
 type journal struct {
 	// Deployed is set once every resource exists; a restarted Guardian
@@ -185,19 +188,53 @@ func deploy(ctx *kube.ContainerCtx, p Params) (int, bool) {
 		return 137, false
 	}
 
-	// Step 3: learner StatefulSet with stable identities. Before
-	// creating it, wait for aggregate GPU capacity so the gang can be
-	// placed together — the paper's atomic provisioning ("either the
-	// whole job is provisioned with the requisite resources or none")
-	// rather than a partial placement that would stall at the first
-	// gradient synchronization.
-	for d.Kube.FreeGPUs(p.Manifest.GPUType) < p.Manifest.TotalGPUs() {
-		if halted, _ := jobHalted(d, p.JobID); halted {
+	// Step 3: learner StatefulSet with stable identities. The learners
+	// are submitted to the gang scheduler as one pod group first: the
+	// whole gang is admitted atomically — the paper's atomic
+	// provisioning ("either the whole job is provisioned with the
+	// requisite resources or none") — instead of learner pods grabbing
+	// GPUs one at a time and deadlocking against another partially
+	// placed job. Submission is idempotent, so a restarted Guardian
+	// recovers the reservation by name.
+	gang, err := d.Kube.SubmitGang(kube.GangSpec{
+		Name:          GangName(p.JobID),
+		Tenant:        p.Manifest.TrainingData.AccessKey,
+		Priority:      p.Manifest.Priority,
+		Members:       p.Manifest.Learners,
+		GPUsPerMember: p.Manifest.GPUsPerLearner,
+		GPUType:       p.Manifest.GPUType,
+	})
+	if err != nil {
+		if errors.Is(err, kube.ErrGangUnsatisfiable) {
+			// The cluster could never place this job; fail it with a
+			// diagnosable reason instead of queueing forever.
+			failJob(d, p.JobID, "insufficient cluster capacity: "+err.Error())
+			rollback(d, p.JobID)
+			cleanupEtcd(d, p.JobID)
 			return 0, false
 		}
-		if !ctx.Sleep(2 * time.Second) {
+		return 1, false
+	}
+	if !step("gang") {
+		return 137, false
+	}
+	for gang.State() == kube.GangPending {
+		if halted, _ := jobHalted(d, p.JobID); halted {
+			d.Kube.CancelGang(GangName(p.JobID))
+			return 0, false
+		}
+		if !ctx.Sleep(500 * time.Millisecond) {
 			return 137, false
 		}
+	}
+	if gang.State() != kube.GangAdmitted {
+		// Preempted (or cancelled) before the learners existed: retry
+		// from scratch on a fresh Guardian attempt. Like the monitor's
+		// preemption path, this is the scheduler's doing — give the
+		// attempt back so churny preemption cannot exhaust the budget.
+		d.Kube.CancelGang(GangName(p.JobID))
+		_ = d.ResetDeployAttempts(p.JobID)
+		return 1, false
 	}
 	g := resolveGPU(d, p.Manifest)
 	learnerPod := kube.PodSpec{
@@ -210,6 +247,7 @@ func deploy(ctx *kube.ContainerCtx, p Params) (int, bool) {
 		RestartPolicy:    kube.RestartAlways,
 		GPUs:             p.Manifest.GPUsPerLearner,
 		GPUType:          p.Manifest.GPUType,
+		Gang:             GangName(p.JobID),
 		Volumes:          []string{VolumeName(p.JobID)},
 		BindsObjectStore: true,
 	}
@@ -322,6 +360,21 @@ func monitor(ctx *kube.ContainerCtx, p Params) int {
 			return 0
 		}
 
+		// Preemption by a higher-priority gang maps to the Guardian's
+		// rollback: cancel the gang, tear down the partial deployment,
+		// and redeploy from scratch on a fresh Guardian attempt. The
+		// attempt counter is reset — preemption is the scheduler's
+		// doing, not a deployment failure, so it must not burn the
+		// job's retry budget.
+		if g := d.Kube.GangByName(GangName(p.JobID)); g != nil && g.State() == kube.GangPreempted {
+			_, _ = d.TransitionJob(p.JobID, types.StateDeploying, "preempted by higher-priority job; redeploying")
+			shipLogs(d, p.JobID, p.Manifest)
+			rollback(d, p.JobID)
+			_ = d.Etcd.Delete(types.GuardianJournalKey(p.JobID))
+			_ = d.ResetDeployAttempts(p.JobID)
+			return 1
+		}
+
 		statuses, err := readStatuses(d, p.JobID)
 		if err == nil {
 			training, completed, failed := 0, 0, 0
@@ -414,14 +467,23 @@ func shipLogs(d *core.Deps, jobID string, m *manifest.Manifest) {
 	}
 }
 
-// rollback deletes whatever a crashed predecessor may have created. All
-// deletions are name-addressed and idempotent.
-func rollback(d *core.Deps, jobID string) {
+// Rollback deletes every cluster resource a job's (possibly crashed)
+// Guardian may have created: network policy, learner StatefulSet, gang
+// reservation, helper Deployment, shared volume. All deletions are
+// name-addressed and idempotent. Guardian rollback is also gang
+// cancellation: the learner pod group's GPU reservation disappears with
+// its pods, so a half-deployed job never pins capacity. The LCM's
+// garbage collector calls this too, so the resource list lives in
+// exactly one place.
+func Rollback(d *core.Deps, jobID string) {
 	d.Kube.RemoveNetworkPolicy(PolicyName(jobID))
 	d.Kube.DeleteStatefulSet(LearnerSetName(jobID))
+	d.Kube.CancelGang(GangName(jobID))
 	d.Kube.DeleteDeployment(HelperName(jobID))
 	d.NFS.Release(VolumeName(jobID))
 }
+
+func rollback(d *core.Deps, jobID string) { Rollback(d, jobID) }
 
 // teardown releases a fully deployed job's resources after it reaches a
 // terminal state. The NFS volume is kept briefly for log draining and

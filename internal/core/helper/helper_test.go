@@ -1,0 +1,246 @@
+package helper
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/core/learner"
+	"repro/internal/core/manifest"
+	"repro/internal/core/types"
+	"repro/internal/etcd"
+	"repro/internal/gpu"
+	"repro/internal/kube"
+	"repro/internal/metrics"
+	"repro/internal/mongo"
+	"repro/internal/netsim"
+	"repro/internal/nfs"
+	"repro/internal/objectstore"
+	"repro/internal/rpc"
+)
+
+func newTestDeps(t *testing.T) (*core.Deps, *clock.Sim) {
+	t.Helper()
+	clk := clock.NewSim()
+	link := netsim.NewSharedLink(netsim.Ethernet1G, clk)
+	cluster := kube.NewCluster(kube.Config{Clock: clk},
+		kube.NodeSpec{Name: "n1", GPUs: 4, GPUType: "K80"},
+	)
+	store := etcd.New(1, clk)
+	t.Cleanup(func() {
+		cluster.Stop()
+		store.Close()
+		clk.Close()
+	})
+	return &core.Deps{
+		Clock:       clk,
+		Bus:         rpc.NewBus(clk),
+		Kube:        cluster,
+		Etcd:        store,
+		Mongo:       mongo.New(clk),
+		ObjectStore: objectstore.New(clk, link),
+		NFS:         nfs.NewServer(clk),
+		DataLink:    link,
+		DefaultGPU:  gpu.K80,
+		Metrics:     metrics.NewRegistry(),
+	}, clk
+}
+
+func helperManifest(learners int) *manifest.Manifest {
+	return &manifest.Manifest{
+		Name: "t", Framework: "tensorflow", Model: "resnet50",
+		Learners: learners, GPUsPerLearner: 1, BatchPerGPU: 32, Epochs: 1,
+		DatasetImages: 640,
+		TrainingData:  manifest.DataRef{Bucket: "data", Key: "train.rec", AccessKey: "ak", SecretKey: "sk"},
+		Results:       manifest.DataRef{Bucket: "results", AccessKey: "ak", SecretKey: "sk"},
+	}
+}
+
+// startHelperPod provisions the job volume and runs the helper pod.
+func startHelperPod(t *testing.T, d *core.Deps, m *manifest.Manifest) *nfs.Volume {
+	t.Helper()
+	vol, err := d.NFS.Provision("vol-j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PodSpec(Params{Deps: d, JobID: "j", Manifest: m, VolumeName: "vol-j"})
+	spec.Name = "helper-j"
+	spec.Volumes = nil // the simulated containers reach the volume via Deps
+	if _, err := d.Kube.CreatePod(spec); err != nil {
+		t.Fatal(err)
+	}
+	return vol
+}
+
+func TestPodSpecHasFourHelperContainers(t *testing.T) {
+	d, _ := newTestDeps(t)
+	spec := PodSpec(Params{Deps: d, JobID: "j", Manifest: helperManifest(1), VolumeName: "v"})
+	want := map[string]bool{"load-data": true, "controller": true, "log-collector": true, "store-results": true}
+	if len(spec.Containers) != len(want) {
+		t.Fatalf("containers = %d, want %d", len(spec.Containers), len(want))
+	}
+	for _, cs := range spec.Containers {
+		if !want[cs.Name] {
+			t.Fatalf("unexpected container %q", cs.Name)
+		}
+	}
+	if spec.Labels["job"] != "j" || spec.Tenant == "" {
+		t.Fatalf("labels/tenant not stamped: %+v", spec)
+	}
+}
+
+func TestCurrentLearnerStatus(t *testing.T) {
+	d, _ := newTestDeps(t)
+	vol, err := d.NFS.Provision("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No files yet: unknown.
+	if got := currentLearnerStatus(vol, 0); got != "" {
+		t.Fatalf("empty volume status = %q", got)
+	}
+	// Status file only.
+	vol.Write(learner.StatusPath(0), []byte(types.LearnerTraining))
+	if got := currentLearnerStatus(vol, 0); got != types.LearnerTraining {
+		t.Fatalf("status = %q, want TRAINING", got)
+	}
+	// Exit file wins over the status file (orderly termination).
+	vol.WriteExitCode(0, 0)
+	if got := currentLearnerStatus(vol, 0); got != types.LearnerCompleted {
+		t.Fatalf("status = %q, want COMPLETED after exit 0", got)
+	}
+	vol.Write(learner.StatusPath(1), []byte(types.LearnerTraining))
+	vol.WriteExitCode(1, 5)
+	if got := currentLearnerStatus(vol, 1); got != types.LearnerFailed {
+		t.Fatalf("status = %q, want FAILED after exit 5", got)
+	}
+}
+
+func TestControllerMirrorsStatusToEtcd(t *testing.T) {
+	d, clk := newTestDeps(t)
+	m := helperManifest(1)
+	vol := startHelperPod(t, d, m)
+
+	vol.Write(learner.StatusPath(0), []byte(types.LearnerTraining))
+	vol.Write(learner.ProgressPath(0), []byte("1280"))
+
+	deadline := clk.Now().Add(5 * time.Minute)
+	for clk.Now().Before(deadline) {
+		raw, found, err := d.Etcd.Get(types.LearnerStatusKey("j", 0))
+		if err == nil && found {
+			if !strings.Contains(raw, string(types.LearnerTraining)) {
+				t.Fatalf("etcd status = %s, want TRAINING", raw)
+			}
+			if !strings.Contains(raw, "images=1280") {
+				t.Fatalf("etcd status lacks progress detail: %s", raw)
+			}
+			return
+		}
+		clk.Sleep(500 * time.Millisecond)
+	}
+	t.Fatal("controller never mirrored the learner status into etcd")
+}
+
+func TestLoadDataPublishesReadiness(t *testing.T) {
+	d, clk := newTestDeps(t)
+	m := helperManifest(1)
+	// Stage the dataset so load-data validates successfully.
+	creds := objectstore.Credentials{AccessKey: "ak", SecretKey: "sk"}
+	if err := d.ObjectStore.CreateBucket("data", creds); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ObjectStore.PutSynthetic("data", "train.rec", 1<<20, creds); err != nil {
+		t.Fatal(err)
+	}
+	vol := startHelperPod(t, d, m)
+	deadline := clk.Now().Add(5 * time.Minute)
+	for clk.Now().Before(deadline) {
+		if raw, err := vol.Read(DataReadyMarker); err == nil {
+			if string(raw) != "ok" {
+				t.Fatalf("data-ready marker = %q, want ok", raw)
+			}
+			return
+		}
+		clk.Sleep(500 * time.Millisecond)
+	}
+	t.Fatal("load-data never published the readiness marker")
+}
+
+func TestLoadDataReportsInaccessibleData(t *testing.T) {
+	d, clk := newTestDeps(t)
+	vol := startHelperPod(t, d, helperManifest(1)) // bucket never created
+	deadline := clk.Now().Add(5 * time.Minute)
+	for clk.Now().Before(deadline) {
+		if raw, err := vol.Read(DataReadyMarker); err == nil {
+			if !strings.HasPrefix(string(raw), "error") {
+				t.Fatalf("marker = %q, want an error", raw)
+			}
+			return
+		}
+		clk.Sleep(500 * time.Millisecond)
+	}
+	t.Fatal("load-data never reported the inaccessible dataset")
+}
+
+func TestStoreResultsWaitsForAllLearnersThenPublishes(t *testing.T) {
+	d, clk := newTestDeps(t)
+	m := helperManifest(2)
+	creds := objectstore.Credentials{AccessKey: "ak", SecretKey: "sk"}
+	if err := d.ObjectStore.CreateBucket("results", creds); err != nil {
+		t.Fatal(err)
+	}
+	vol := startHelperPod(t, d, m)
+
+	// One learner done: results must NOT be stored yet.
+	vol.WriteExitCode(0, 0)
+	clk.Sleep(time.Minute)
+	if vol.Exists(ResultsStoredMarker) {
+		t.Fatal("results stored before every learner finished")
+	}
+	// Second learner done: the model lands in the bucket and the marker
+	// appears.
+	vol.WriteExitCode(1, 0)
+	deadline := clk.Now().Add(time.Hour)
+	for clk.Now().Before(deadline) {
+		if raw, err := vol.Read(ResultsStoredMarker); err == nil && string(raw) == "ok" {
+			keys, err := d.ObjectStore.List("results", creds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				if strings.HasPrefix(k, "models/j/") {
+					return
+				}
+			}
+			t.Fatalf("marker set but no model stored; keys = %v", keys)
+		}
+		clk.Sleep(time.Second)
+	}
+	t.Fatal("store-results never published the marker")
+}
+
+func TestLogCollectorShipsLogs(t *testing.T) {
+	d, clk := newTestDeps(t)
+	m := helperManifest(1)
+	creds := objectstore.Credentials{AccessKey: "ak", SecretKey: "sk"}
+	if err := d.ObjectStore.CreateBucket("results", creds); err != nil {
+		t.Fatal(err)
+	}
+	vol := startHelperPod(t, d, m)
+	vol.Append(learner.LogPath(0), []byte("hello from the learner\n"))
+
+	deadline := clk.Now().Add(5 * time.Minute)
+	for clk.Now().Before(deadline) {
+		obj, err := d.ObjectStore.Get("results", "logs/j/learner-0.log", creds)
+		if err == nil {
+			if !strings.Contains(string(obj.Data), "hello from the learner") {
+				t.Fatalf("shipped log = %q", obj.Data)
+			}
+			return
+		}
+		clk.Sleep(time.Second)
+	}
+	t.Fatal("log-collector never shipped the log")
+}

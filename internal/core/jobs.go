@@ -132,6 +132,23 @@ func (d *Deps) IncrementDeployAttempts(id string) (int, error) {
 	return attempts, nil
 }
 
+// ResetDeployAttempts clears the deployment retry counter. The Guardian
+// resets after a gang preemption: the redeploy is the scheduler's doing,
+// not a deployment failure, so it must not count against the budget.
+func (d *Deps) ResetDeployAttempts(id string) error {
+	_, err := d.Jobs().Mutate(mongo.Filter{"_id": id}, func(doc mongo.Document) error {
+		doc["deploy_attempts"] = 0
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, mongo.ErrNotFound) {
+			return fmt.Errorf("job %s: %w", id, ErrJobNotFound)
+		}
+		return err
+	}
+	return nil
+}
+
 func recordToDoc(rec types.JobRecord) (mongo.Document, error) {
 	if rec.ID == "" {
 		return nil, fmt.Errorf("core: job record without ID")

@@ -152,10 +152,7 @@ func (s *Service) garbageCollect() {
 				continue
 			}
 		}
-		s.deps.Kube.RemoveNetworkPolicy(guardian.PolicyName(rec.ID))
-		s.deps.Kube.DeleteStatefulSet(guardian.LearnerSetName(rec.ID))
-		s.deps.Kube.DeleteDeployment(guardian.HelperName(rec.ID))
-		s.deps.NFS.Release(guardian.VolumeName(rec.ID))
+		guardian.Rollback(s.deps, rec.ID)
 		if kvs, err := s.deps.Etcd.Range(types.JobPrefix(rec.ID)); err == nil {
 			for _, kv := range kvs {
 				_ = s.deps.Etcd.Delete(kv.Key)

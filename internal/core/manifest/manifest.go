@@ -17,6 +17,10 @@ import (
 // ErrInvalid wraps all manifest validation failures.
 var ErrInvalid = errors.New("manifest: invalid")
 
+// MaxPriority bounds the job priority range (0 = default, best-effort;
+// MaxPriority = most urgent).
+const MaxPriority = 1000
+
 // DataRef locates training data or a results destination in the object
 // store, with the credentials to access it.
 type DataRef struct {
@@ -50,6 +54,10 @@ type Manifest struct {
 	TrainingData DataRef `json:"training_data"`
 	// Results locates where checkpoints/logs/model are written.
 	Results DataRef `json:"results"`
+	// Priority orders jobs in the gang scheduler's pending queue
+	// (0..MaxPriority, default 0). Higher-priority jobs admit first and
+	// may preempt the learner gangs of lower-priority jobs.
+	Priority int `json:"priority,omitempty"`
 	// CheckpointInterval is the user-chosen checkpoint cadence in
 	// training time ("the checkpointing interval depends on the
 	// tolerance level of the user to failures"). Zero disables
@@ -85,6 +93,8 @@ func (m *Manifest) Validate() error {
 		return fmt.Errorf("%w: results.bucket is required", ErrInvalid)
 	case m.CheckpointInterval < 0:
 		return fmt.Errorf("%w: checkpoint_interval must be >= 0", ErrInvalid)
+	case m.Priority < 0 || m.Priority > MaxPriority:
+		return fmt.Errorf("%w: priority must be in 0..%d (got %d)", ErrInvalid, MaxPriority, m.Priority)
 	}
 	if _, ok := trainsim.ModelByName(m.Model); !ok {
 		return fmt.Errorf("%w: unknown model %q", ErrInvalid, m.Model)

@@ -69,6 +69,54 @@ func TestValidationRejections(t *testing.T) {
 	}
 }
 
+func TestPriorityValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		priority int
+		ok       bool
+	}{
+		{"default-zero", 0, true},
+		{"mid-range", 500, true},
+		{"max", MaxPriority, true},
+		{"negative", -1, false},
+		{"above-max", MaxPriority + 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := valid()
+			m.Priority = tc.priority
+			err := m.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("priority %d rejected: %v", tc.priority, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("priority %d accepted", tc.priority)
+				}
+				if !errors.Is(err, ErrInvalid) {
+					t.Fatalf("error not wrapped in ErrInvalid: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestPrioritySurvivesRoundTrip(t *testing.T) {
+	m := valid()
+	m.Priority = 42
+	raw, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Priority != 42 {
+		t.Fatalf("priority round-trip = %d, want 42", got.Priority)
+	}
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	m := valid()
 	raw, err := m.Encode()

@@ -1,0 +1,64 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"K80", "K80", true},
+		{"k80", "K80", true},
+		{"P100", "P100", true},
+		{"p100", "P100", true},
+		{"P100-SXM2", "P100-SXM2", true},
+		{"dgx-1", "P100-SXM2", true},
+		{"V100", "V100", true},
+		{"v100", "V100", true},
+		{"TPU", "", false},
+		{"", "", false},
+	}
+	for _, tc := range cases {
+		got, ok := ByName(tc.in)
+		if ok != tc.ok {
+			t.Errorf("ByName(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && got.Name != tc.want {
+			t.Errorf("ByName(%q) = %s, want %s", tc.in, got.Name, tc.want)
+		}
+	}
+}
+
+func TestEffectiveTFLOPS(t *testing.T) {
+	// The SXM2 form factor sustains higher clocks than the PCIe card.
+	if P100SXM2.EffectiveTFLOPS() <= P100.EffectiveTFLOPS() {
+		t.Fatalf("SXM2 %.2f <= PCIe %.2f", P100SXM2.EffectiveTFLOPS(), P100.EffectiveTFLOPS())
+	}
+	// ComputeBoost 1.0 means spec-sheet TFLOPS.
+	if got := K80.EffectiveTFLOPS(); got != K80.TFLOPS {
+		t.Fatalf("K80 effective = %v, want %v", got, K80.TFLOPS)
+	}
+}
+
+func TestCatalogSanity(t *testing.T) {
+	for _, g := range []Spec{K80, P100, P100SXM2, V100} {
+		if g.TFLOPS <= 0 || g.MemGB <= 0 || g.MemBW <= 0 {
+			t.Errorf("%s has non-positive specs: %+v", g.Name, g)
+		}
+		if g.HostLink.Bandwidth <= 0 {
+			t.Errorf("%s has no host link bandwidth", g.Name)
+		}
+		if !strings.Contains(g.String(), g.Name) {
+			t.Errorf("String() %q does not embed the name", g.String())
+		}
+	}
+	// The evaluation's ordering: K80 < P100 < V100 in compute.
+	if !(K80.TFLOPS < P100.TFLOPS && P100.TFLOPS < V100.TFLOPS) {
+		t.Fatal("catalog compute ordering broken")
+	}
+}

@@ -97,6 +97,12 @@ type Config struct {
 	Timing Timing
 	// Scheduling selects the placement strategy (default PolicyBinPack).
 	Scheduling SchedulingPolicy
+	// DisablePreemption turns off priority preemption in the gang
+	// scheduler (admitted gangs are never evicted for higher priority).
+	DisablePreemption bool
+	// DisableBackfill turns off backfilling small gangs into GPU holes
+	// while a large gang waits at the head of the queue.
+	DisableBackfill bool
 	// Seed makes delay jitter reproducible.
 	Seed int64
 }
@@ -117,8 +123,9 @@ type Cluster struct {
 	nameSeq  uint64
 	stopped  bool
 
-	ctrl *controllerManager
-	reg  *registry
+	ctrl  *controllerManager
+	reg   *registry
+	sched *gangScheduler
 }
 
 // Node is a worker machine with GPU capacity.
@@ -181,6 +188,7 @@ func NewCluster(cfg Config, nodes ...NodeSpec) *Cluster {
 	}
 	c.ctrl = newControllerManager(c)
 	c.reg = newRegistry()
+	c.sched = newGangScheduler(c, cfg)
 	return c
 }
 
@@ -363,6 +371,7 @@ func (c *Cluster) CrashNode(name string) error {
 	n.mu.Lock()
 	n.down = true
 	n.mu.Unlock()
+	c.sched.nodeDown(n)
 	for _, p := range victims {
 		p.kill(killNodeFailure)
 	}
@@ -381,6 +390,7 @@ func (c *Cluster) RestartNode(name string) error {
 	n.down = false
 	n.freeGPUs = n.Spec.GPUs
 	n.mu.Unlock()
+	c.sched.kick()
 	return nil
 }
 
@@ -426,6 +436,7 @@ func (c *Cluster) UncordonNode(name string) error {
 	n.mu.Lock()
 	n.cordoned = false
 	n.mu.Unlock()
+	c.sched.kick()
 	return nil
 }
 
@@ -446,6 +457,7 @@ func (c *Cluster) DrainNode(name string) error {
 	for _, p := range victims {
 		p.kill(killDelete)
 	}
+	c.sched.kick()
 	return nil
 }
 
@@ -461,65 +473,17 @@ func (c *Cluster) Nodes() []*Node {
 	return out
 }
 
-// schedule reserves capacity for spec on a node according to the
-// cluster's placement policy. It returns nil when nothing fits.
+// schedule reserves capacity for spec on a node. Gang member pods bind
+// to their gang's reservation; everything else goes through the per-pod
+// policy placement. Returns nil when nothing fits (yet).
 func (c *Cluster) schedule(spec PodSpec) *Node {
-	fits := func(n *Node) bool {
-		return !n.down && !n.cordoned &&
-			n.freeGPUs >= spec.GPUs &&
-			(spec.GPUType == "" || spec.GPUType == n.Spec.GPUType)
-	}
-	nodes := c.Nodes()
-	var chosen *Node
-	switch c.policy {
-	case PolicySpread:
-		// Most free GPUs first: minimize co-located workloads.
-		best := -1
-		for _, n := range nodes {
-			n.mu.Lock()
-			if fits(n) && n.freeGPUs > best {
-				best = n.freeGPUs
-				chosen = n
-			}
-			n.mu.Unlock()
-		}
-	default: // PolicyBinPack
-		for _, n := range nodes {
-			n.mu.Lock()
-			ok := fits(n)
-			n.mu.Unlock()
-			if ok {
-				chosen = n
-				break
-			}
-		}
-	}
-	if chosen == nil {
-		return nil
-	}
-	chosen.mu.Lock()
-	defer chosen.mu.Unlock()
-	// Re-check under the lock: another pod may have taken the capacity.
-	if !fits(chosen) {
-		return nil
-	}
-	chosen.freeGPUs -= spec.GPUs
-	return chosen
+	return c.sched.placePod(spec)
 }
 
-// release returns a pod's GPU reservation to its node.
+// release returns a pod's GPU reservation to its gang or node and lets
+// the gang scheduler react to the freed capacity.
 func (c *Cluster) release(n *Node, spec PodSpec) {
-	if n == nil {
-		return
-	}
-	n.mu.Lock()
-	if !n.down {
-		n.freeGPUs += spec.GPUs
-		if n.freeGPUs > n.Spec.GPUs {
-			n.freeGPUs = n.Spec.GPUs
-		}
-	}
-	n.mu.Unlock()
+	c.sched.podReleased(n, spec)
 }
 
 // forget removes a terminal pod from the registry (kubelet GC).

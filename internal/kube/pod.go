@@ -13,6 +13,9 @@ type killReason int
 const (
 	killDelete killReason = iota + 1
 	killNodeFailure
+	// killPreempted marks eviction by the gang scheduler in favor of a
+	// higher-priority gang; like a node failure, the pod ends Failed.
+	killPreempted
 )
 
 // exitKilled is the exit code of a killed container process (SIGKILL).

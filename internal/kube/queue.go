@@ -1,0 +1,57 @@
+package kube
+
+// gangQueue is the scheduler's pending queue: gangs ordered by priority
+// (descending), FIFO within a priority level (ascending submission
+// sequence). A sorted slice keeps the order deterministic and makes the
+// backfill scan (walk everything behind the head) trivial.
+type gangQueue struct {
+	items []*Gang
+}
+
+// push inserts g keeping the (priority desc, seq asc) order.
+func (q *gangQueue) push(g *Gang) {
+	at := len(q.items)
+	for i, cur := range q.items {
+		if less(g, cur) {
+			at = i
+			break
+		}
+	}
+	q.items = append(q.items, nil)
+	copy(q.items[at+1:], q.items[at:])
+	q.items[at] = g
+}
+
+// less orders a before b: higher priority first, earlier submission
+// breaking ties.
+func less(a, b *Gang) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+// head returns the highest-priority pending gang, or nil.
+func (q *gangQueue) head() *Gang {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// remove deletes g from the queue, reporting whether it was present.
+func (q *gangQueue) remove(g *Gang) bool {
+	for i, cur := range q.items {
+		if cur == g {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// len returns the number of pending gangs.
+func (q *gangQueue) len() int { return len(q.items) }
+
+// at returns the i-th gang in queue order.
+func (q *gangQueue) at(i int) *Gang { return q.items[i] }

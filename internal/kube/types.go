@@ -119,6 +119,10 @@ type PodSpec struct {
 	GPUs int
 	// GPUType optionally constrains the node's GPU type.
 	GPUType string
+	// Gang, when set, binds the pod to the named pod group's atomic GPU
+	// reservation (see Cluster.SubmitGang) instead of the per-pod
+	// scheduler. The pod stays Pending until its gang is admitted.
+	Gang string
 	// Volumes are NFS volume names bound at pod start via PVCs. Binding
 	// adds start latency.
 	Volumes []string

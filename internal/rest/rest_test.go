@@ -112,6 +112,9 @@ func TestSubmitInvalidManifest(t *testing.T) {
 }
 
 func TestFullJobOverREST(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full job over REST; skipped with -short")
+	}
 	f := newFixture(t)
 	m := f.manifest(t, "alice")
 

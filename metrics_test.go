@@ -8,6 +8,7 @@ import (
 // TestProgressGraphClean verifies a never-crashed job's progress graph:
 // monotone images, decreasing loss trend, zero restarts.
 func TestProgressGraphClean(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("graph1")
 	m := testManifest(t, p, "graph1", 1)
@@ -46,6 +47,7 @@ func TestProgressGraphClean(t *testing.T) {
 // experienced a failure and a job that did" — a crashed-and-recovered
 // learner's graph contains a rollback to the last checkpoint.
 func TestProgressGraphShowsRestart(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("graph2")
 	m := testManifest(t, p, "graph2", 1)

@@ -43,6 +43,18 @@ type Options struct {
 	// EtcdReplicas is the etcd cluster size (default 3, as the paper).
 	EtcdReplicas int
 
+	// Scheduling selects the per-pod placement policy for the simulated
+	// cluster (default kube.PolicyBinPack; kube.PolicySpread trades
+	// utilization for node-failure blast radius).
+	Scheduling kube.SchedulingPolicy
+	// DisablePreemption turns off priority preemption in the gang
+	// scheduler: higher-priority jobs then wait instead of evicting
+	// lower-priority learner gangs.
+	DisablePreemption bool
+	// DisableBackfill turns off backfilling small jobs into GPU holes
+	// while a large gang waits at the head of the queue.
+	DisableBackfill bool
+
 	// MaxDeployAttempts bounds Guardian deployment retries (default 3).
 	MaxDeployAttempts int
 	// GuardianStepDelay is the modeled per-step Guardian provisioning
@@ -133,7 +145,14 @@ func New(opts Options) (*Platform, error) {
 			GPUType: opts.GPUType,
 		})
 	}
-	p.cluster = kube.NewCluster(kube.Config{Clock: p.clk, NFS: p.nfs, Seed: opts.Seed}, nodes...)
+	p.cluster = kube.NewCluster(kube.Config{
+		Clock:             p.clk,
+		NFS:               p.nfs,
+		Scheduling:        opts.Scheduling,
+		DisablePreemption: opts.DisablePreemption,
+		DisableBackfill:   opts.DisableBackfill,
+		Seed:              opts.Seed,
+	}, nodes...)
 	p.chaos = chaos.New(p.cluster)
 
 	p.metrics = metrics.NewRegistry()

@@ -48,7 +48,17 @@ func newTestPlatform(t *testing.T, opts Options) *Platform {
 	return p
 }
 
+// skipIfShort guards the full-platform replay tests (boot + train +
+// crash-inject) so `go test -short ./...` stays fast.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-platform replay test; skipped with -short")
+	}
+}
+
 func TestJobLifecycleEndToEnd(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("alice")
 	m := testManifest(t, p, "alice", 1)
@@ -123,6 +133,7 @@ func TestJobLifecycleEndToEnd(t *testing.T) {
 }
 
 func TestDistributedJobCompletes(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("bob")
 	m := testManifest(t, p, "bob", 2) // two learners, Horovod-style
@@ -145,6 +156,7 @@ func TestDistributedJobCompletes(t *testing.T) {
 }
 
 func TestSubmissionSurvivesLCMOutage(t *testing.T) {
+	skipIfShort(t)
 	// The paper's durability guarantee: metadata is stored in MongoDB
 	// before the ack, so a job submitted while the LCM is down is
 	// deployed when the LCM recovers.
@@ -202,6 +214,7 @@ func TestAPIFailover(t *testing.T) {
 }
 
 func TestGuardianCrashMidDeployRollsBackAndRetries(t *testing.T) {
+	skipIfShort(t)
 	// The atomicity guarantee: kill the Guardian between provisioning
 	// steps; the restarted Guardian rolls back and redeploys, and the
 	// job still completes.
@@ -244,6 +257,7 @@ func TestGuardianCrashMidDeployRollsBackAndRetries(t *testing.T) {
 }
 
 func TestPersistentDeployFailureMarksJobFailed(t *testing.T) {
+	skipIfShort(t)
 	// Exhaust the Guardian's retry budget by killing it mid-deploy
 	// every attempt; the job must be marked FAILED, not hang.
 	p := newTestPlatform(t, Options{GuardianStepDelay: 3 * time.Second, MaxDeployAttempts: 2})
@@ -285,6 +299,7 @@ func TestPersistentDeployFailureMarksJobFailed(t *testing.T) {
 }
 
 func TestLearnerCrashResumesFromCheckpoint(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("frank")
 	m := testManifest(t, p, "frank", 1)
@@ -339,6 +354,7 @@ func TestLearnerCrashResumesFromCheckpoint(t *testing.T) {
 }
 
 func TestHaltTerminatesJob(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("grace")
 	m := testManifest(t, p, "grace", 1)
@@ -397,6 +413,7 @@ func TestTenantIsolation(t *testing.T) {
 }
 
 func TestLearnerNetworkIsolation(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	a := p.Client("t1")
 	ma := testManifest(t, p, "t1", 1)
@@ -438,6 +455,7 @@ func TestLearnerNetworkIsolation(t *testing.T) {
 }
 
 func TestStatusUpdatesSurviveEtcdMinorityCrash(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("henry")
 	m := testManifest(t, p, "henry", 1)
@@ -454,6 +472,7 @@ func TestStatusUpdatesSurviveEtcdMinorityCrash(t *testing.T) {
 }
 
 func TestClusterInfo(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{Nodes: 2, GPUsPerNode: 4})
 	client := p.Client("ops")
 	info, err := client.ClusterInfo()
@@ -486,6 +505,7 @@ func TestClusterInfo(t *testing.T) {
 }
 
 func TestOversizedBatchFailsWithOOM(t *testing.T) {
+	skipIfShort(t)
 	// A batch that cannot fit the GPU's memory fails the job with a
 	// diagnosable reason, not a hang.
 	p := newTestPlatform(t, Options{})
@@ -545,6 +565,7 @@ func TestClientSurvivesTotalAPIOutage(t *testing.T) {
 // goal: a batch of jobs from different tenants, submitted together,
 // all complete — queueing (not failing) when GPUs are contended.
 func TestManyConcurrentJobs(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{Nodes: 4, GPUsPerNode: 2})
 	const jobs = 10 // 10 single-GPU jobs on 8 GPUs: some must queue
 	ids := make([]string, jobs)
@@ -578,6 +599,7 @@ func TestManyConcurrentJobs(t *testing.T) {
 }
 
 func TestGarbageCollectionReapsGuardianJob(t *testing.T) {
+	skipIfShort(t)
 	p := newTestPlatform(t, Options{})
 	client := p.Client("gc")
 	m := testManifest(t, p, "gc", 1)
@@ -622,6 +644,121 @@ func TestMeteringCountsRequests(t *testing.T) {
 	}
 	if st := reg.Histogram("api_latency", "status"); st.Count != 3 || st.Mean <= 0 {
 		t.Fatalf("latency stats = %+v", st)
+	}
+}
+
+// TestContendedMixedWorkloadCompletes is the gang-scheduler acceptance
+// test at the platform level: a mix of 1-, 2- and 4-learner jobs whose
+// aggregate demand exceeds the cluster. Under the seed per-pod scheduler
+// two 4-learner jobs could each grab part of the fleet and deadlock at
+// rendezvous; gang admission serializes them and every job completes.
+func TestContendedMixedWorkloadCompletes(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{Nodes: 2, GPUsPerNode: 3}) // 6 GPUs
+	learners := []int{4, 4, 2, 1, 1}                           // 12 GPUs demanded
+	ids := make([]string, len(learners))
+	clients := make([]*Client, len(learners))
+	for i, n := range learners {
+		tenant := fmt.Sprintf("mix-%d", i)
+		clients[i] = p.Client(tenant)
+		m := testManifest(t, p, tenant, n)
+		m.DatasetImages = 2000
+		if n > 1 {
+			m.Framework = "horovod"
+		}
+		id, err := clients[i].Submit(m)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	for i := range ids {
+		if _, err := clients[i].WaitForState(ids[i], StateCompleted, 12*time.Hour); err != nil {
+			t.Fatalf("job %d (%s, %d learners): %v", i, ids[i], learners[i], err)
+		}
+	}
+	// No reservation leaked.
+	clk := p.Clock()
+	deadline := clk.Now().Add(10 * time.Minute)
+	for clk.Now().Before(deadline) {
+		if p.Cluster().FreeGPUs("") == 6 && len(p.Cluster().Gangs()) == 0 {
+			return
+		}
+		clk.Sleep(2 * time.Second)
+	}
+	t.Fatalf("capacity leaked: free=%d gangs=%d", p.Cluster().FreeGPUs(""), len(p.Cluster().Gangs()))
+}
+
+// TestPreemptionRedeploysLowPriorityJob: a high-priority job evicts a
+// running low-priority job's learner gang; the Guardian maps the
+// preemption to rollback + redeploy, and both jobs eventually complete.
+func TestPreemptionRedeploysLowPriorityJob(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{Nodes: 2, GPUsPerNode: 2}) // 4 GPUs
+	low := p.Client("low")
+	ml := testManifest(t, p, "low", 4)
+	ml.Framework = "horovod"
+	ml.DatasetImages = 16000 // long enough that the preemption lands mid-training
+	ml.Priority = 1
+	idLow, err := low.Submit(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := low.WaitForState(idLow, StateProcessing, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	hi := p.Client("hi")
+	mh := testManifest(t, p, "hi", 4)
+	mh.Framework = "horovod"
+	mh.DatasetImages = 2000
+	mh.Priority = 100
+	idHi, err := hi.Submit(mh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hi.WaitForState(idHi, StateCompleted, 6*time.Hour); err != nil {
+		t.Fatalf("high-priority job did not complete: %v", err)
+	}
+	// The preempted job redeploys and completes after the preemptor frees
+	// the fleet; its history records the preemption.
+	if _, err := low.WaitForState(idLow, StateCompleted, 12*time.Hour); err != nil {
+		t.Fatalf("preempted job did not recover: %v", err)
+	}
+	events, err := low.Events(idLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preempted := false
+	for _, ev := range events {
+		if strings.Contains(ev.Note, "preempted") {
+			preempted = true
+		}
+	}
+	if !preempted {
+		t.Fatalf("no preemption recorded in history: %v", events)
+	}
+}
+
+// TestOversizedJobFailsFast: a job demanding more GPUs than the cluster
+// could ever provide is FAILED with a diagnosable reason instead of
+// queueing in DEPLOYING forever.
+func TestOversizedJobFailsFast(t *testing.T) {
+	p := newTestPlatform(t, Options{Nodes: 2, GPUsPerNode: 2}) // 4 GPUs total
+	client := p.Client("big")
+	m := testManifest(t, p, "big", 4)
+	m.Framework = "horovod"
+	m.GPUsPerLearner = 2 // 8 GPUs demanded
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := client.WaitForState(id, StateFailed, time.Hour)
+	if err != nil && rec.State != StateFailed {
+		t.Fatalf("oversized job not failed: %v (%+v)", err, rec)
+	}
+	if !strings.Contains(rec.Reason, "capacity") {
+		t.Fatalf("reason = %q, want a capacity diagnosis", rec.Reason)
 	}
 }
 
