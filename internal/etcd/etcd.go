@@ -8,18 +8,28 @@
 // Every operation — including reads — is sequenced through the Raft log,
 // so results are linearizable by construction. Watches observe the apply
 // stream and survive the crash of any minority of nodes.
+//
+// Since the metadata-plane refactor this package is a facade over the
+// sharded MVCC engine in internal/store: each replica's deterministic
+// state machine is a store.Engine in external-revision mode (the Raft
+// log index is the revision), watch delivery goes through a store.Hub
+// whose revision cursor dedupes the per-replica apply streams, and the
+// client-side request plumbing (request IDs, waiter completion) uses
+// striped maps — there is no store-wide mutex on the request path; the
+// remaining Store.mu only guards node lifecycle (crash/restart/close).
 package etcd
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/raft"
+	"repro/internal/store"
 )
 
 // Common errors.
@@ -63,6 +73,12 @@ type Event struct {
 	Rev uint64
 }
 
+// EventKey implements store.Keyed for hub dispatch.
+func (e Event) EventKey() string { return e.Key }
+
+// EventRev implements store.Keyed for hub dispatch.
+func (e Event) EventRev() uint64 { return e.Rev }
+
 // KV is a key with its value and last-modification revision.
 type KV struct {
 	Key   string
@@ -79,7 +95,25 @@ const (
 	opCAS    opKind = "cas"
 	opGet    opKind = "get"
 	opRange  opKind = "range"
+	opTxn    opKind = "txn"
 )
+
+// Cmp is a transaction guard, with the same semantics as
+// CompareAndSwap's precondition: when PrevExists the key must exist with
+// value Prev; otherwise the key must be absent.
+type Cmp struct {
+	Key        string `json:"key"`
+	Prev       string `json:"prev,omitempty"`
+	PrevExists bool   `json:"prev_exists,omitempty"`
+}
+
+// TxnOp is one mutation inside a transaction branch.
+type TxnOp struct {
+	// Type is EventPut or EventDelete.
+	Type  EventType `json:"type"`
+	Key   string    `json:"key"`
+	Value string    `json:"value,omitempty"`
+}
 
 // command is the JSON-encoded payload of a Raft entry.
 type command struct {
@@ -89,15 +123,18 @@ type command struct {
 	Value string `json:"value,omitempty"`
 	// Prev is the expected current value for CAS ("" means
 	// must-not-exist when PrevExists is false).
-	Prev       string `json:"prev,omitempty"`
-	PrevExists bool   `json:"prev_exists,omitempty"`
+	Prev       string  `json:"prev,omitempty"`
+	PrevExists bool    `json:"prev_exists,omitempty"`
+	Cmps       []Cmp   `json:"cmps,omitempty"`
+	Then       []TxnOp `json:"then,omitempty"`
+	Else       []TxnOp `json:"else,omitempty"`
 }
 
 // result is what applying a command yields (deterministic on every node).
 type result struct {
 	val    string
 	found  bool
-	ok     bool // CAS success
+	ok     bool // CAS success / txn branch taken
 	kvs    []KV
 	rev    uint64
 	events []Event
@@ -110,41 +147,56 @@ const defaultRequestTimeout = 5 * time.Second
 // before snapshotting its state machine and compacting the Raft log.
 const defaultCompactEvery = 1000
 
-// Store is a handle to the replicated KV cluster.
-type Store struct {
-	clk          clock.Clock
-	cluster      *raft.Cluster
-	timeout      time.Duration
-	compactEvery int
+// waiterStripes is the size of the striped waiter table; striping keeps
+// request registration and completion off any store-wide lock.
+const waiterStripes = 64
 
-	mu       sync.Mutex
-	sms      map[int]*stateMachine
-	stops    map[int]chan struct{}
-	waiters  map[string]chan result
-	watchers []*watcher
-	lastRev  uint64 // highest apply index delivered to watchers
-	reqSeq   uint64
-	closed   bool
+// waiterStripe is one lock shard of the in-flight request table.
+type waiterStripe struct {
+	mu sync.Mutex
+	m  map[string]chan result
 }
 
-// watcher receives events for keys under its prefix.
-type watcher struct {
-	prefix string
-	ch     chan Event
-	done   chan struct{}
+// Store is a handle to the replicated KV cluster.
+type Store struct {
+	clk     clock.Clock
+	cluster *raft.Cluster
+	timeout time.Duration
+	shards  int
+
+	compactEvery atomic.Int64
+	reqSeq       atomic.Uint64
+	closed       atomic.Bool
+
+	waiters [waiterStripes]waiterStripe
+	hub     *store.Hub[Event]
+
+	// mu guards replica lifecycle only (cold path).
+	mu    sync.Mutex
+	sms   map[int]*stateMachine
+	stops map[int]chan struct{}
 }
 
 // New boots an n-way replicated store on clk. The paper's deployment uses
 // n = 3.
-func New(n int, clk clock.Clock) *Store {
+func New(n int, clk clock.Clock) *Store { return NewSharded(n, clk, 0) }
+
+// NewSharded boots an n-way replicated store whose per-replica state
+// machines use the given engine shard count (<= 0 selects the store
+// default).
+func NewSharded(n int, clk clock.Clock, shards int) *Store {
 	s := &Store{
-		clk:          clk,
-		cluster:      raft.NewCluster(n, raft.DefaultConfig(clk)),
-		timeout:      defaultRequestTimeout,
-		compactEvery: defaultCompactEvery,
-		sms:          make(map[int]*stateMachine, n),
-		stops:        make(map[int]chan struct{}, n),
-		waiters:      make(map[string]chan result),
+		clk:     clk,
+		cluster: raft.NewCluster(n, raft.DefaultConfig(clk)),
+		timeout: defaultRequestTimeout,
+		shards:  shards,
+		hub:     store.NewHub[Event](),
+		sms:     make(map[int]*stateMachine, n),
+		stops:   make(map[int]chan struct{}, n),
+	}
+	s.compactEvery.Store(defaultCompactEvery)
+	for i := range s.waiters {
+		s.waiters[i].m = make(map[string]chan result)
 	}
 	for _, id := range s.cluster.IDs() {
 		s.startApplier(id)
@@ -155,34 +207,26 @@ func New(n int, clk clock.Clock) *Store {
 // SetCompactEvery overrides the per-node log-compaction threshold
 // (entries applied between snapshots). Intended for tests and benches.
 func (s *Store) SetCompactEvery(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if n > 0 {
-		s.compactEvery = n
+		s.compactEvery.Store(int64(n))
 	}
 }
 
 // Close shuts down the cluster and all watchers.
 func (s *Store) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return
 	}
-	s.closed = true
+	s.mu.Lock()
 	stops := s.stops
 	s.stops = map[int]chan struct{}{}
-	watchers := s.watchers
-	s.watchers = nil
 	s.mu.Unlock()
 
 	for _, st := range stops {
 		close(st)
 	}
 	s.cluster.Stop()
-	for _, w := range watchers {
-		close(w.done)
-	}
+	s.hub.Close()
 }
 
 // startApplier builds a state machine for node id — restored from the
@@ -193,14 +237,10 @@ func (s *Store) startApplier(id int) {
 	if node == nil {
 		return
 	}
-	sm := newStateMachine()
+	sm := newStateMachine(s.shards)
 	if snap, idx := node.Snapshot(); idx > 0 {
 		sm.restore(snap)
-		s.mu.Lock()
-		if idx > s.lastRev {
-			s.lastRev = idx
-		}
-		s.mu.Unlock()
+		s.hub.Publish(idx, nil) // advance the delivery cursor past the image
 	}
 	stop := make(chan struct{})
 	s.mu.Lock()
@@ -217,20 +257,13 @@ func (s *Store) startApplier(id int) {
 				if a.IsSnapshot {
 					// The leader fast-forwarded this lagging node.
 					sm.restore(a.Snapshot)
-					s.mu.Lock()
-					if a.SnapIndex > s.lastRev {
-						s.lastRev = a.SnapIndex
-					}
-					s.mu.Unlock()
+					s.hub.Publish(a.SnapIndex, nil)
 					applied = 0
 					continue
 				}
-				s.applyEntry(id, sm, a.Entry)
+				s.applyEntry(sm, a.Entry)
 				applied++
-				s.mu.Lock()
-				threshold := s.compactEvery
-				s.mu.Unlock()
-				if applied >= threshold {
+				if applied >= int(s.compactEvery.Load()) {
 					_ = node.Compact(a.Entry.Index, sm.serialize())
 					applied = 0
 				}
@@ -239,46 +272,63 @@ func (s *Store) startApplier(id int) {
 	}()
 }
 
-// applyEntry applies one committed entry to node id's state machine and
-// completes waiters / watchers exactly once per log index.
-func (s *Store) applyEntry(id int, sm *stateMachine, e raft.Entry) {
+// applyEntry applies one committed entry to a replica's state machine,
+// completes the client waiter, and hands the entry's events to the hub,
+// whose revision cursor delivers each log index exactly once no matter
+// how many replicas apply it.
+func (s *Store) applyEntry(sm *stateMachine, e raft.Entry) {
 	var cmd command
 	if err := json.Unmarshal(e.Cmd, &cmd); err != nil {
 		return // corrupt entry; deterministic no-op on every node
 	}
 	res := sm.apply(e.Index, cmd)
 
-	s.mu.Lock()
+	// Publish before completing the waiter: once the client's call
+	// returns, the entry's revision is already past the hub's delivery
+	// cursor, so a Watch opened after an acknowledged write can never be
+	// handed that write's own events ("events begin with the first
+	// revision applied after the call").
+	s.hub.Publish(e.Index, res.events)
+
 	// Complete the client waiter (first applier wins; all produce the
 	// same deterministic result).
-	if ch, ok := s.waiters[cmd.ReqID]; ok {
-		delete(s.waiters, cmd.ReqID)
+	if ch, ok := s.takeWaiter(cmd.ReqID); ok {
 		select {
 		case ch <- res:
 		default:
 		}
 	}
-	// Deliver watch events exactly once per revision.
-	var fire []Event
-	var targets []*watcher
-	if e.Index > s.lastRev {
-		s.lastRev = e.Index
-		fire = res.events
-		targets = append(targets, s.watchers...)
-	}
-	s.mu.Unlock()
+}
 
-	for _, ev := range fire {
-		for _, w := range targets {
-			if !strings.HasPrefix(ev.Key, w.prefix) {
-				continue
-			}
-			select {
-			case w.ch <- ev:
-			case <-w.done:
-			}
-		}
+// stripeFor hashes a request ID to its waiter stripe.
+func stripeFor(reqID string) int {
+	return int(store.Hash32(reqID) % waiterStripes)
+}
+
+func (s *Store) putWaiter(reqID string, ch chan result) {
+	st := &s.waiters[stripeFor(reqID)]
+	st.mu.Lock()
+	st.m[reqID] = ch
+	st.mu.Unlock()
+}
+
+func (s *Store) takeWaiter(reqID string) (chan result, bool) {
+	st := &s.waiters[stripeFor(reqID)]
+	st.mu.Lock()
+	ch, ok := st.m[reqID]
+	if ok {
+		delete(st.m, reqID)
 	}
+	st.mu.Unlock()
+	return ch, ok
+}
+
+func (s *Store) waiterLive(reqID string) bool {
+	st := &s.waiters[stripeFor(reqID)]
+	st.mu.Lock()
+	_, ok := st.m[reqID]
+	st.mu.Unlock()
+	return ok
 }
 
 // Put stores value under key.
@@ -324,6 +374,18 @@ func (s *Store) CompareAndSwap(key, prev string, prevExists bool, newValue strin
 	return nil
 }
 
+// Txn atomically evaluates cmps against the current state and applies
+// then (all guards hold) or orElse (any guard fails) in a single log
+// entry: the branch's mutations commit at one revision, and watchers see
+// them together. succeeded reports which branch ran.
+func (s *Store) Txn(cmps []Cmp, then, orElse []TxnOp) (succeeded bool, rev uint64, err error) {
+	res, err := s.propose(command{Op: opTxn, Cmps: cmps, Then: then, Else: orElse})
+	if err != nil {
+		return false, 0, fmt.Errorf("txn: %w", err)
+	}
+	return res.ok, res.rev, nil
+}
+
 // Range returns all keys under prefix, sorted by key.
 func (s *Store) Range(prefix string) ([]KV, error) {
 	res, err := s.propose(command{Op: opRange, Key: prefix})
@@ -337,46 +399,18 @@ func (s *Store) Range(prefix string) ([]KV, error) {
 // subscription. Events begin with the first revision applied after the
 // call.
 func (s *Store) Watch(prefix string) (events <-chan Event, cancel func()) {
-	w := &watcher{prefix: prefix, ch: make(chan Event, 128), done: make(chan struct{})}
-	s.mu.Lock()
-	s.watchers = append(s.watchers, w)
-	s.mu.Unlock()
-
-	var once sync.Once
-	cancel = func() {
-		once.Do(func() {
-			s.mu.Lock()
-			for i, x := range s.watchers {
-				if x == w {
-					s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
-					break
-				}
-			}
-			s.mu.Unlock()
-			close(w.done)
-		})
-	}
-	return w.ch, cancel
+	return s.hub.Watch(prefix)
 }
 
 // propose routes cmd through the Raft log and waits for its application.
 func (s *Store) propose(cmd command) (result, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return result{}, ErrClosed
 	}
-	s.reqSeq++
-	cmd.ReqID = fmt.Sprintf("r%d", s.reqSeq)
+	cmd.ReqID = fmt.Sprintf("r%d", s.reqSeq.Add(1))
 	ch := make(chan result, 1)
-	s.waiters[cmd.ReqID] = ch
-	s.mu.Unlock()
-
-	defer func() {
-		s.mu.Lock()
-		delete(s.waiters, cmd.ReqID)
-		s.mu.Unlock()
-	}()
+	s.putWaiter(cmd.ReqID, ch)
+	defer s.takeWaiter(cmd.ReqID)
 
 	payload, err := json.Marshal(cmd)
 	if err != nil {
@@ -408,10 +442,8 @@ func (s *Store) propose(cmd command) (result, error) {
 		// Not applied yet: either still replicating or lost. Keep the
 		// waiter and retry the propose; dedupe in the state machine
 		// makes retries idempotent.
-		s.mu.Lock()
-		if _, live := s.waiters[cmd.ReqID]; !live {
+		if !s.waiterLive(cmd.ReqID) {
 			// Applied while we were deciding to retry.
-			s.mu.Unlock()
 			select {
 			case res := <-ch:
 				return res, nil
@@ -419,7 +451,6 @@ func (s *Store) propose(cmd command) (result, error) {
 				return result{}, ErrTimeout
 			}
 		}
-		s.mu.Unlock()
 	}
 	select {
 	case res := <-ch:
@@ -460,16 +491,19 @@ func (s *Store) LeaderID() int {
 	return l.ID()
 }
 
-// stateMachine is the deterministic KV automaton each node runs.
+// stateMachine is the deterministic automaton each replica runs: a
+// sharded MVCC engine in external-revision mode (the Raft index is the
+// revision) plus the exactly-once dedup ledger. Its apply loop is
+// single-goroutine per replica; mu only fences apply against restore.
 type stateMachine struct {
 	mu    sync.Mutex
-	data  map[string]KV
+	eng   *store.Engine
 	dedup map[string]uint64 // reqID -> applied index
 }
 
-func newStateMachine() *stateMachine {
+func newStateMachine(shards int) *stateMachine {
 	return &stateMachine{
-		data:  make(map[string]KV),
+		eng:   store.NewEngine(store.Config{Shards: shards, ExternalRevs: true}),
 		dedup: make(map[string]uint64),
 	}
 }
@@ -485,7 +519,12 @@ type smSnapshot struct {
 func (m *stateMachine) serialize() []byte {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	img := smSnapshot{Data: m.data, Dedup: m.dedup}
+	data := make(map[string]KV)
+	for _, kv := range m.eng.Export() {
+		val, _ := kv.Value.(string)
+		data[kv.Key] = KV{Key: kv.Key, Value: val, Rev: kv.Rev}
+	}
+	img := smSnapshot{Data: data, Dedup: m.dedup}
 	raw, err := json.Marshal(img)
 	if err != nil {
 		return nil
@@ -501,10 +540,13 @@ func (m *stateMachine) restore(raw []byte) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.data = img.Data
-	if m.data == nil {
-		m.data = make(map[string]KV)
+	kvs := make([]store.KV, 0, len(img.Data))
+	for k, kv := range img.Data {
+		kvs = append(kvs, store.KV{Key: k, Value: kv.Value, Rev: kv.Rev})
 	}
+	eng := store.NewEngine(store.Config{Shards: m.eng.Shards(), ExternalRevs: true})
+	_ = eng.Import(kvs, 0) // cannot fail: the engine is external-revs
+	m.eng = eng
 	m.dedup = img.Dedup
 	if m.dedup == nil {
 		m.dedup = make(map[string]uint64)
@@ -518,49 +560,70 @@ func (m *stateMachine) apply(idx uint64, cmd command) result {
 	// the first occurrence mutates state. (Reads are harmless to repeat.)
 	if first, seen := m.dedup[cmd.ReqID]; seen && first != idx {
 		switch cmd.Op {
-		case opPut, opDelete, opCAS:
+		case opPut, opDelete, opCAS, opTxn:
 			return result{rev: first, ok: true}
 		}
 	}
 	m.dedup[cmd.ReqID] = idx
 
 	res := result{rev: idx}
+	applyOps := func(ops []store.Op) {
+		events, _ := m.eng.ApplyAt(idx, ops)
+		for _, ev := range events {
+			val, _ := ev.Value.(string)
+			res.events = append(res.events, Event{
+				Type: EventType(ev.Type), Key: ev.Key, Value: val, Rev: ev.Rev,
+			})
+		}
+	}
+	holds := func(c Cmp) bool {
+		cur, _, exists := m.eng.Get(c.Key)
+		if exists != c.PrevExists {
+			return false
+		}
+		return !exists || cur.(string) == c.Prev
+	}
+
 	switch cmd.Op {
 	case opPut:
-		m.data[cmd.Key] = KV{Key: cmd.Key, Value: cmd.Value, Rev: idx}
-		res.events = []Event{{Type: EventPut, Key: cmd.Key, Value: cmd.Value, Rev: idx}}
+		applyOps([]store.Op{{Kind: store.OpPut, Key: cmd.Key, Value: cmd.Value}})
 	case opDelete:
-		if _, ok := m.data[cmd.Key]; ok {
-			delete(m.data, cmd.Key)
-			res.events = []Event{{Type: EventDelete, Key: cmd.Key, Rev: idx}}
-		}
+		applyOps([]store.Op{{Kind: store.OpDelete, Key: cmd.Key}})
 	case opCAS:
-		cur, exists := m.data[cmd.Key]
-		match := (exists == cmd.PrevExists) && (!exists || cur.Value == cmd.Prev)
-		if match {
-			m.data[cmd.Key] = KV{Key: cmd.Key, Value: cmd.Value, Rev: idx}
+		if holds(Cmp{Key: cmd.Key, Prev: cmd.Prev, PrevExists: cmd.PrevExists}) {
+			applyOps([]store.Op{{Kind: store.OpPut, Key: cmd.Key, Value: cmd.Value}})
 			res.ok = true
-			res.events = []Event{{Type: EventPut, Key: cmd.Key, Value: cmd.Value, Rev: idx}}
 		}
-	case opGet:
-		if kv, ok := m.data[cmd.Key]; ok {
-			res.val, res.found = kv.Value, true
-		}
-	case opRange:
-		for k, kv := range m.data {
-			if strings.HasPrefix(k, cmd.Key) {
-				res.kvs = append(res.kvs, kv)
+	case opTxn:
+		res.ok = true
+		for _, c := range cmd.Cmps {
+			if !holds(c) {
+				res.ok = false
+				break
 			}
 		}
-		sortKVs(res.kvs)
-	}
-	return res
-}
-
-func sortKVs(kvs []KV) {
-	for i := 1; i < len(kvs); i++ {
-		for j := i; j > 0 && kvs[j].Key < kvs[j-1].Key; j-- {
-			kvs[j], kvs[j-1] = kvs[j-1], kvs[j]
+		branch := cmd.Then
+		if !res.ok {
+			branch = cmd.Else
+		}
+		ops := make([]store.Op, 0, len(branch))
+		for _, op := range branch {
+			kind := store.OpPut
+			if op.Type == EventDelete {
+				kind = store.OpDelete
+			}
+			ops = append(ops, store.Op{Kind: kind, Key: op.Key, Value: op.Value})
+		}
+		applyOps(ops)
+	case opGet:
+		if v, _, ok := m.eng.Get(cmd.Key); ok {
+			res.val, res.found = v.(string), true
+		}
+	case opRange:
+		for _, kv := range m.eng.ScanLatest(cmd.Key) {
+			val, _ := kv.Value.(string)
+			res.kvs = append(res.kvs, KV{Key: kv.Key, Value: val, Rev: kv.Rev})
 		}
 	}
+	return res
 }

@@ -34,14 +34,10 @@ func (s *Store) GrantLease(ttl time.Duration) (*Lease, error) {
 	if ttl <= 0 {
 		return nil, fmt.Errorf("etcd: lease ttl must be positive, got %v", ttl)
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	s.reqSeq++
-	id := fmt.Sprintf("lease-%d", s.reqSeq)
-	s.mu.Unlock()
+	id := fmt.Sprintf("lease-%d", s.reqSeq.Add(1))
 
 	l := &Lease{
 		store: s,

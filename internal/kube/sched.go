@@ -83,6 +83,7 @@ type Gang struct {
 	reserved    map[*Node]int // GPUs reserved per node (bound + idle)
 	idle        map[*Node]int // reserved GPUs not yet bound to a pod
 	lost        int           // members whose reservation died with a node
+	backfilled  bool          // admitted past a waiting head (counts against the backfill budget)
 	submittedAt time.Time
 	admittedAt  time.Time
 	admittedCh  chan struct{}
@@ -507,7 +508,7 @@ func (s *gangScheduler) rescheduleLocked() {
 		if head == nil {
 			return
 		}
-		if s.admitLocked(head, s.planLocked(head.Spec, nil)) {
+		if s.admitLocked(head, s.planLocked(head.Spec, nil), false) {
 			continue
 		}
 		break
@@ -517,10 +518,15 @@ func (s *gangScheduler) rescheduleLocked() {
 		s.preemptForLocked(head)
 	}
 	if s.backfill {
+		limit := s.backfillLimit(head)
 		for i := 1; i < s.queue.len(); {
 			g := s.queue.at(i)
-			if s.admitLocked(g, s.planLocked(g.Spec, s.backfillLimit(head))) {
-				continue // removal shifted the slice; same index is the next gang
+			if s.admitLocked(g, s.planLocked(g.Spec, limit), true) {
+				// Removal shifted the slice (same index is the next gang),
+				// and the admission consumed backfill budget: rebuild the
+				// cap so one pass cannot overshoot it.
+				limit = s.backfillLimit(head)
+				continue
 			}
 			i++
 		}
@@ -529,8 +535,9 @@ func (s *gangScheduler) rescheduleLocked() {
 
 // admitLocked commits a placement plan: node capacity moves into the
 // gang's reservation and the gang leaves the queue. A nil plan admits
-// nothing.
-func (s *gangScheduler) admitLocked(g *Gang, plan map[*Node]int) bool {
+// nothing. viaBackfill marks gangs that jumped a waiting head, so their
+// holdings count against the backfill budget until they release.
+func (s *gangScheduler) admitLocked(g *Gang, plan map[*Node]int, viaBackfill bool) bool {
 	if plan == nil {
 		return false
 	}
@@ -542,6 +549,7 @@ func (s *gangScheduler) admitLocked(g *Gang, plan map[*Node]int) bool {
 		g.reserved[n] += k
 		g.idle[n] += k
 	}
+	g.backfilled = viaBackfill
 	g.state = GangAdmitted
 	g.admittedAt = s.c.clk.Now()
 	close(g.admittedCh)
@@ -620,10 +628,22 @@ func (s *gangScheduler) planLocked(spec GangSpec, limit func(n *Node, free int) 
 }
 
 // backfillLimit builds the per-node cap that lets a small gang slip past
-// the waiting head without delaying it: on nodes the head can use, only
-// the fragmentation remainder (free mod head's member size) is up for
-// grabs, so the count of head members placeable now never shrinks. On
-// nodes the head cannot use (GPU type mismatch), everything is fair game.
+// the waiting head without delaying it — now or ever. On nodes the head
+// can use, two guards compose:
+//
+//   - free % (head's member size): only the current fragmentation
+//     remainder is up for grabs, so the count of head members placeable
+//     right now never shrinks.
+//   - capacity % (head's member size), minus what backfilled gangs
+//     already hold there: total backfill holdings never exceed the
+//     remainder the head could not use even on a fully drained node.
+//     Without this budget a continuous stream of small gangs can re-grab
+//     each remainder the moment an earlier backfill releases it, and the
+//     node oscillates below a full member slot forever — the backfill-
+//     starvation scenario.
+//
+// On nodes the head cannot use (GPU type mismatch), everything is fair
+// game.
 func (s *gangScheduler) backfillLimit(head *Gang) func(n *Node, free int) int {
 	if head == nil {
 		return nil
@@ -633,11 +653,28 @@ func (s *gangScheduler) backfillLimit(head *Gang) func(n *Node, free int) int {
 	if hs == 0 {
 		return nil
 	}
+	held := make(map[*Node]int)
+	for _, g := range s.gangs {
+		g.mu.Lock()
+		if g.state == GangAdmitted && g.backfilled {
+			for n, r := range g.reserved {
+				held[n] += r
+			}
+		}
+		g.mu.Unlock()
+	}
 	return func(n *Node, free int) int {
 		if ht != "" && n.Spec.GPUType != ht {
 			return free
 		}
-		return free % hs
+		budget := n.Spec.GPUs%hs - held[n]
+		if budget < 0 {
+			budget = 0
+		}
+		if frag := free % hs; frag < budget {
+			return frag
+		}
+		return budget
 	}
 }
 

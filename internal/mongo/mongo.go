@@ -8,19 +8,28 @@
 //   - Atomic single-document updates (status transitions).
 //   - Filtered queries over collections (job listing, GC scans).
 //
+// Since the metadata-plane refactor this package is a thin facade over
+// the sharded MVCC engine in internal/store: each collection is a
+// keyspace prefix, single-document operations are per-key atomic updates
+// on the owning shard, and queries are snapshot scans at a global
+// revision — so a GC scan over 10k jobs never blocks a status
+// transition, and writers to different documents never contend.
+//
 // Documents are map[string]any with a mandatory "_id" field. Values
 // stored and returned are deep-copied so callers can never alias the
-// store's internal state.
+// store's internal state (which is also what keeps old MVCC versions
+// immutable for in-flight snapshot readers).
 package mongo
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/store"
 )
 
 // Common errors.
@@ -30,6 +39,8 @@ var (
 	// ErrDuplicateKey indicates an insert violated the _id or a unique
 	// index constraint.
 	ErrDuplicateKey = errors.New("mongo: duplicate key")
+	// ErrUnavailable indicates the database is down (crash simulation).
+	ErrUnavailable = errors.New("mongo: database unavailable")
 )
 
 // Document is a JSON-like record.
@@ -46,35 +57,43 @@ const writeLatency = 2 * time.Millisecond
 // readLatency models an indexed read.
 const readLatency = 500 * time.Microsecond
 
-// DB is a named set of collections.
+// mutateAttempts bounds rescans when every snapshot candidate of a
+// filtered read-modify-write is concurrently mutated away.
+const mutateAttempts = 4
+
+// DB is a named set of collections over one shared store engine.
 type DB struct {
 	clk clock.Clock
+	eng *store.Engine
+
+	down atomic.Bool
 
 	mu    sync.Mutex
 	colls map[string]*Collection
-	down  bool
 }
 
-// New returns an empty database on clk.
-func New(clk clock.Clock) *DB {
-	return &DB{clk: clk, colls: make(map[string]*Collection)}
+// New returns an empty database on clk with the default shard count.
+func New(clk clock.Clock) *DB { return NewSharded(clk, 0) }
+
+// NewSharded returns an empty database whose backing engine uses the
+// given shard count (<= 0 selects the store default).
+func NewSharded(clk clock.Clock, shards int) *DB {
+	return &DB{
+		clk:   clk,
+		eng:   store.NewEngine(store.Config{Shards: shards}),
+		colls: make(map[string]*Collection),
+	}
 }
+
+// Close shuts down the backing engine.
+func (d *DB) Close() { d.eng.Close() }
 
 // SetDown simulates the database being unreachable (crash of the Mongo
 // deployment). Operations fail until SetDown(false).
-func (d *DB) SetDown(down bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.down = down
-}
-
-// ErrUnavailable indicates the database is down (crash simulation).
-var ErrUnavailable = errors.New("mongo: database unavailable")
+func (d *DB) SetDown(down bool) { d.down.Store(down) }
 
 func (d *DB) available() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.down {
+	if d.down.Load() {
 		return ErrUnavailable
 	}
 	return nil
@@ -86,30 +105,39 @@ func (d *DB) Collection(name string) *Collection {
 	defer d.mu.Unlock()
 	c := d.colls[name]
 	if c == nil {
-		c = &Collection{db: d, name: name, docs: make(map[string]Document)}
+		c = &Collection{db: d, name: name, prefix: "c\x00" + name + "\x00"}
 		d.colls[name] = c
 	}
 	return c
 }
 
-// Collection is a set of documents keyed by "_id".
+// Collection is a keyspace of documents keyed by "_id".
 type Collection struct {
-	db   *DB
-	name string
+	db     *DB
+	name   string
+	prefix string
 
-	mu     sync.Mutex
-	docs   map[string]Document
-	unique []string // field names with unique indexes
-	writes int
+	// idxMu fences inserts against unique-index state: plain inserts
+	// hold it shared (they run in parallel), inserts into uniquely
+	// indexed collections and EnsureUniqueIndex hold it exclusively —
+	// so an index build never races an in-flight insert commit, and
+	// unique check+commit is atomic. Reads and updates never take it.
+	idxMu  sync.RWMutex
+	unique []string
+
+	writes atomic.Int64
 }
+
+func (c *Collection) key(id string) string { return c.prefix + id }
 
 // EnsureUniqueIndex adds a unique constraint on field. Existing
 // duplicate values cause an error.
 func (c *Collection) EnsureUniqueIndex(field string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
 	seen := make(map[any]bool)
-	for _, doc := range c.docs {
+	for _, kv := range c.db.eng.ScanLatest(c.prefix) {
+		doc := kv.Value.(Document)
 		v, ok := doc[field]
 		if !ok {
 			continue
@@ -134,24 +162,39 @@ func (c *Collection) InsertOne(doc Document) error {
 		return fmt.Errorf("mongo: insert into %s: missing string _id", c.name)
 	}
 	c.db.clk.Sleep(writeLatency)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.docs[id]; exists {
-		return fmt.Errorf("mongo: insert %s/%s: %w", c.name, id, ErrDuplicateKey)
-	}
-	for _, f := range c.unique {
-		want, has := doc[f]
-		if !has {
-			continue
-		}
-		for _, other := range c.docs {
-			if other[f] == want {
-				return fmt.Errorf("mongo: insert %s/%s: field %s: %w", c.name, id, f, ErrDuplicateKey)
+	stored := deepCopy(doc)
+
+	c.idxMu.RLock()
+	if len(c.unique) == 0 {
+		// No unique indexes: commit under the shared lock, so a
+		// concurrent EnsureUniqueIndex waits for this insert to land.
+		defer c.idxMu.RUnlock()
+	} else {
+		c.idxMu.RUnlock()
+		c.idxMu.Lock()
+		defer c.idxMu.Unlock()
+		// Exclusive: check+commit is atomic against other inserts.
+		for _, f := range c.unique {
+			want, has := stored[f]
+			if !has {
+				continue
+			}
+			for _, kv := range c.db.eng.ScanLatest(c.prefix) {
+				other := kv.Value.(Document)
+				if other[f] == want {
+					return fmt.Errorf("mongo: insert %s/%s: field %s: %w", c.name, id, f, ErrDuplicateKey)
+				}
 			}
 		}
 	}
-	c.docs[id] = deepCopy(doc)
-	c.writes++
+
+	if _, err := c.db.eng.Insert(c.key(id), stored); err != nil {
+		if errors.Is(err, store.ErrExists) {
+			return fmt.Errorf("mongo: insert %s/%s: %w", c.name, id, ErrDuplicateKey)
+		}
+		return fmt.Errorf("mongo: insert %s/%s: %v", c.name, id, err)
+	}
+	c.writes.Add(1)
 	return nil
 }
 
@@ -161,28 +204,44 @@ func (c *Collection) FindOne(filter Filter) (Document, error) {
 		return nil, err
 	}
 	c.db.clk.Sleep(readLatency)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, id := range c.sortedIDsLocked() {
-		if matches(c.docs[id], filter) {
-			return deepCopy(c.docs[id]), nil
+	if id, ok := filterID(filter); ok {
+		// Point read: latest committed version of the one key.
+		if v, _, found := c.db.eng.Get(c.key(id)); found {
+			doc := v.(Document)
+			if matches(doc, filter) {
+				return deepCopy(doc), nil
+			}
+		}
+		return nil, fmt.Errorf("mongo: find in %s: %w", c.name, ErrNotFound)
+	}
+	kvs, _, err := c.db.eng.Scan(c.prefix)
+	if err != nil {
+		return nil, fmt.Errorf("mongo: find in %s: %v", c.name, err)
+	}
+	for _, kv := range kvs {
+		if doc := kv.Value.(Document); matches(doc, filter) {
+			return deepCopy(doc), nil
 		}
 	}
 	return nil, fmt.Errorf("mongo: find in %s: %w", c.name, ErrNotFound)
 }
 
-// Find returns every document matching filter, in _id order.
+// Find returns every document matching filter, in _id order. The read is
+// an MVCC snapshot at a global revision: it observes a consistent
+// point-in-time view and never blocks concurrent writers.
 func (c *Collection) Find(filter Filter) ([]Document, error) {
 	if err := c.db.available(); err != nil {
 		return nil, err
 	}
 	c.db.clk.Sleep(readLatency)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	kvs, _, err := c.db.eng.Scan(c.prefix)
+	if err != nil {
+		return nil, fmt.Errorf("mongo: find in %s: %v", c.name, err)
+	}
 	var out []Document
-	for _, id := range c.sortedIDsLocked() {
-		if matches(c.docs[id], filter) {
-			out = append(out, deepCopy(c.docs[id]))
+	for _, kv := range kvs {
+		if doc := kv.Value.(Document); matches(doc, filter) {
+			out = append(out, deepCopy(doc))
 		}
 	}
 	return out, nil
@@ -200,56 +259,117 @@ func (c *Collection) Count(filter Filter) (int, error) {
 // UpdateOne applies set to the first document matching filter,
 // atomically. It returns the updated document.
 func (c *Collection) UpdateOne(filter Filter, set Document) (Document, error) {
-	if err := c.db.available(); err != nil {
-		return nil, err
-	}
-	c.db.clk.Sleep(writeLatency)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, id := range c.sortedIDsLocked() {
-		doc := c.docs[id]
-		if !matches(doc, filter) {
-			continue
-		}
+	doc, err := c.mutateFiltered("update", filter, func(doc Document) error {
 		for k, v := range set {
 			if k == "_id" {
 				continue // immutable
 			}
 			doc[k] = deepCopyValue(v)
 		}
-		c.writes++
-		return deepCopy(doc), nil
-	}
-	return nil, fmt.Errorf("mongo: update in %s: %w", c.name, ErrNotFound)
+		return nil
+	})
+	return doc, err
 }
 
-// Mutate atomically applies fn to the first document matching filter
-// (in _id order) while holding the collection lock — the read-modify-
+// Mutate atomically applies fn to the first document matching filter (in
+// _id order) while holding the document's shard lock — the read-modify-
 // write primitive behind dependable job state transitions. fn receives a
 // copy; returning nil commits it (the _id is immutable), returning an
 // error aborts. The committed document is returned.
+//
+// With an "_id" filter (the platform's state-transition path) the
+// operation is exact: the one key is locked and revalidated. A non-_id
+// filter selects candidates from an MVCC snapshot and revalidates each
+// under its shard lock, rescanning a bounded number of times; under
+// sustained concurrent churn of the filtered fields it can return
+// ErrNotFound even though some document matched at every instant —
+// point-in-time candidate selection is the price of scans that never
+// block writers.
 func (c *Collection) Mutate(filter Filter, fn func(doc Document) error) (Document, error) {
+	return c.mutateFiltered("mutate", filter, fn)
+}
+
+// mutateFiltered is the shared filtered-RMW path. A point filter ("_id")
+// locks only the owning shard; otherwise candidates come from a snapshot
+// scan and each is revalidated under its shard lock, retrying when every
+// candidate was concurrently mutated away.
+func (c *Collection) mutateFiltered(opName string, filter Filter, fn func(doc Document) error) (Document, error) {
 	if err := c.db.available(); err != nil {
 		return nil, err
 	}
 	c.db.clk.Sleep(writeLatency)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, id := range c.sortedIDsLocked() {
-		doc := c.docs[id]
+
+	if id, ok := filterID(filter); ok {
+		doc, wrote, err := c.mutateKey(id, filter, fn)
+		if err != nil {
+			return nil, err
+		}
+		if !wrote {
+			return nil, fmt.Errorf("mongo: %s in %s: %w", opName, c.name, ErrNotFound)
+		}
+		return doc, nil
+	}
+
+	for attempt := 0; attempt < mutateAttempts; attempt++ {
+		kvs, _, err := c.db.eng.Scan(c.prefix)
+		if err != nil {
+			return nil, fmt.Errorf("mongo: %s in %s: %v", opName, c.name, err)
+		}
+		tried := false
+		for _, kv := range kvs {
+			doc := kv.Value.(Document)
+			if !matches(doc, filter) {
+				continue
+			}
+			tried = true
+			id, _ := doc["_id"].(string)
+			out, wrote, err := c.mutateKey(id, filter, fn)
+			if err != nil {
+				return nil, err
+			}
+			if wrote {
+				return out, nil
+			}
+			// The candidate changed under us and no longer matches; the
+			// next one in _id order is now the first match.
+		}
+		if !tried {
+			break
+		}
+	}
+	return nil, fmt.Errorf("mongo: %s in %s: %w", opName, c.name, ErrNotFound)
+}
+
+// mutateKey runs fn against the identified document under its shard
+// lock, revalidating the filter there. wrote=false means the document is
+// absent or no longer matches.
+func (c *Collection) mutateKey(id string, filter Filter, fn func(doc Document) error) (Document, bool, error) {
+	var out Document
+	_, wrote, err := c.db.eng.Update(c.key(id), func(cur any, exists bool) (any, store.Action, error) {
+		if !exists {
+			return nil, store.ActSkip, nil
+		}
+		doc := cur.(Document)
 		if !matches(doc, filter) {
-			continue
+			return nil, store.ActSkip, nil
 		}
 		work := deepCopy(doc)
 		if err := fn(work); err != nil {
-			return nil, err
+			return nil, store.ActSkip, err
 		}
 		work["_id"] = id
-		c.docs[id] = deepCopy(work)
-		c.writes++
-		return work, nil
+		out = work
+		// Install the engine's own copy: committed versions must stay
+		// immutable for snapshot readers even if the caller keeps `work`.
+		return deepCopy(work), store.ActWrite, nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
-	return nil, fmt.Errorf("mongo: mutate in %s: %w", c.name, ErrNotFound)
+	if wrote {
+		c.writes.Add(1)
+	}
+	return out, wrote, nil
 }
 
 // DeleteOne removes the first document matching filter. It reports
@@ -259,13 +379,43 @@ func (c *Collection) DeleteOne(filter Filter) (bool, error) {
 		return false, err
 	}
 	c.db.clk.Sleep(writeLatency)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, id := range c.sortedIDsLocked() {
-		if matches(c.docs[id], filter) {
-			delete(c.docs, id)
-			c.writes++
-			return true, nil
+
+	del := func(id string) (bool, error) {
+		_, deleted, err := c.db.eng.DeleteIf(c.key(id), func(cur any) bool {
+			return matches(cur.(Document), filter)
+		})
+		if err != nil {
+			return false, err
+		}
+		if deleted {
+			c.writes.Add(1)
+		}
+		return deleted, nil
+	}
+
+	if id, ok := filterID(filter); ok {
+		return del(id)
+	}
+	for attempt := 0; attempt < mutateAttempts; attempt++ {
+		kvs, _, err := c.db.eng.Scan(c.prefix)
+		if err != nil {
+			return false, fmt.Errorf("mongo: delete in %s: %v", c.name, err)
+		}
+		tried := false
+		for _, kv := range kvs {
+			doc := kv.Value.(Document)
+			if !matches(doc, filter) {
+				continue
+			}
+			tried = true
+			id, _ := doc["_id"].(string)
+			deleted, err := del(id)
+			if err != nil || deleted {
+				return deleted, err
+			}
+		}
+		if !tried {
+			break
 		}
 	}
 	return false, nil
@@ -273,19 +423,12 @@ func (c *Collection) DeleteOne(filter Filter) (bool, error) {
 
 // Writes reports how many mutating operations committed (used by the
 // overhead benches).
-func (c *Collection) Writes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.writes
-}
+func (c *Collection) Writes() int { return int(c.writes.Load()) }
 
-func (c *Collection) sortedIDsLocked() []string {
-	ids := make([]string, 0, len(c.docs))
-	for id := range c.docs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
+// filterID extracts a point filter's document ID.
+func filterID(filter Filter) (string, bool) {
+	id, ok := filter["_id"].(string)
+	return id, ok && id != ""
 }
 
 // matches reports whether doc satisfies every equality in filter.

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ErrLeaseExpired indicates an attach or keep-alive raced lease expiry.
+var ErrLeaseExpired = errors.New("store: lease expired")
+
+// Lease is a TTL-bound liveness handle: keys attached to it are deleted
+// in one atomic commit when the lease expires without a keep-alive —
+// the engine-level mechanism behind component presence keys.
+type Lease struct {
+	eng *Engine
+	id  uint64
+	ttl time.Duration
+
+	mu      sync.Mutex
+	keys    map[string]bool
+	expired bool
+	timer   clock.Timer
+}
+
+var leaseSeq atomic.Uint64
+
+// GrantLease creates a lease with the given TTL on clk. Without
+// keep-alives the lease expires and every attached key is deleted.
+func (e *Engine) GrantLease(clk clock.Clock, ttl time.Duration) (*Lease, error) {
+	if err := e.writableInternal(); err != nil {
+		return nil, err
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("store: lease ttl must be positive, got %v", ttl)
+	}
+	l := &Lease{
+		eng:  e,
+		id:   leaseSeq.Add(1),
+		ttl:  ttl,
+		keys: make(map[string]bool),
+	}
+	l.timer = clk.AfterFunc(ttl, l.expire)
+	return l, nil
+}
+
+// ID returns the lease identity.
+func (l *Lease) ID() uint64 { return l.id }
+
+// Put stores key=value attached to the lease: the key is deleted
+// automatically when the lease expires. The lease lock is held across
+// the engine write, so an expiry observes either no key (Put fails with
+// ErrLeaseExpired) or the installed key (the expiry deletes it) — never
+// a registration whose value lands after the delete batch.
+func (l *Lease) Put(key string, value any) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.expired {
+		return 0, fmt.Errorf("put %q: %w", key, ErrLeaseExpired)
+	}
+	rev, err := l.eng.Put(key, value)
+	if err != nil {
+		return 0, err
+	}
+	l.keys[key] = true
+	return rev, nil
+}
+
+// KeepAlive extends the lease by its TTL; it fails once expired.
+func (l *Lease) KeepAlive() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.expired {
+		return ErrLeaseExpired
+	}
+	l.timer.Stop()
+	l.timer.Reset(l.ttl)
+	return nil
+}
+
+// Revoke expires the lease immediately, deleting attached keys.
+func (l *Lease) Revoke() { l.expire() }
+
+// Expired reports whether the lease has expired.
+func (l *Lease) Expired() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.expired
+}
+
+// expire deletes every attached key in a single atomic commit, so a
+// snapshot reader sees the component's presence vanish all at once.
+func (l *Lease) expire() {
+	l.mu.Lock()
+	if l.expired {
+		l.mu.Unlock()
+		return
+	}
+	l.expired = true
+	l.timer.Stop()
+	ops := make([]Op, 0, len(l.keys))
+	for k := range l.keys {
+		ops = append(ops, Op{Kind: OpDelete, Key: k})
+	}
+	l.mu.Unlock()
+	_, _ = l.eng.Commit(ops) // best effort: the engine may be closing
+}

@@ -1,0 +1,769 @@
+// Package store is the platform's metadata-plane engine: a sharded,
+// multi-version (MVCC) key-value store that the mongo and etcd
+// substrates are thin facades over. The design follows the recipe of
+// Faleiro & Abadi's "Rethinking serializable multiversion concurrency
+// control": separate the *ordering* of writes from their *execution* so
+// the store scales with cores instead of serializing on one lock.
+//
+//   - Keys are hash-sharded; every shard has its own lock, so writers to
+//     different shards never contend.
+//   - A global revision is assigned per write by a lock-free ring "gate"
+//     (the disciplined ordering layer). The gate tracks the *floor*: the
+//     highest revision R such that every revision <= R is installed.
+//   - Reads are MVCC snapshots at the floor: Scan walks per-key version
+//     chains holding only brief per-shard read locks, so list/scan never
+//     blocks writers. Snapshot acquisition waits until the floor covers
+//     every write that completed before the read began, which keeps
+//     reads real-time-consistent with acknowledged writes.
+//   - Watches are driven by per-shard apply logs merged into revision
+//     order by the hub, so watchers observe a single serial history.
+//   - Version chains are bounded (HistoryLimit) and Compact discards
+//     history below a revision, like etcd's compaction.
+//
+// The engine has two revision modes. In the default internal mode it
+// assigns revisions itself. In ExternalRevs mode the caller supplies
+// revisions (a replicated-log apply loop — the etcd facade feeds it raft
+// indexes), and the engine is a deterministic state machine.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Common errors.
+var (
+	// ErrClosed indicates the engine has been shut down.
+	ErrClosed = errors.New("store: engine closed")
+	// ErrExists indicates Insert found a live value under the key.
+	ErrExists = errors.New("store: key exists")
+	// ErrCompacted indicates the requested revision predates compaction.
+	ErrCompacted = errors.New("store: revision compacted")
+	// ErrExternalRevs indicates an internal-revision operation was called
+	// on an engine in ExternalRevs mode (or vice versa).
+	ErrExternalRevs = errors.New("store: wrong revision mode")
+)
+
+// Defaults completed by NewEngine.
+const (
+	// DefaultShards is the shard count when Config.Shards is zero.
+	DefaultShards = 16
+	// DefaultHistoryLimit bounds the per-key version chain.
+	DefaultHistoryLimit = 32
+)
+
+// EventType distinguishes watch events.
+type EventType int
+
+// Watch event kinds.
+const (
+	EventPut EventType = iota + 1
+	EventDelete
+)
+
+// Event is one change in the store's serial history.
+type Event struct {
+	Type  EventType
+	Key   string
+	Value any
+	Rev   uint64
+}
+
+// EventKey implements Keyed for the watch hub.
+func (e Event) EventKey() string { return e.Key }
+
+// EventRev implements Keyed for the watch hub.
+func (e Event) EventRev() uint64 { return e.Rev }
+
+// KV is a key with its value and last-modification revision.
+type KV struct {
+	Key   string
+	Value any
+	Rev   uint64
+}
+
+// OpKind enumerates mutations accepted by Commit/ApplyAt.
+type OpKind int
+
+// Mutation kinds.
+const (
+	OpPut OpKind = iota + 1
+	OpDelete
+)
+
+// Op is one mutation in a multi-key commit.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value any
+}
+
+// Action is what an Update callback decides to do with the key.
+type Action int
+
+// Update actions.
+const (
+	// ActSkip leaves the key untouched (no event, no new version).
+	ActSkip Action = iota
+	// ActWrite installs the returned value as a new version.
+	ActWrite
+	// ActDelete writes a tombstone (no-op when the key is absent).
+	ActDelete
+)
+
+// Config parameterizes an Engine. The zero value gets defaults.
+type Config struct {
+	// Shards is the number of hash shards (default DefaultShards).
+	Shards int
+	// HistoryLimit bounds each key's retained version chain (default
+	// DefaultHistoryLimit). Older versions are trimmed opportunistically.
+	HistoryLimit int
+	// ExternalRevs switches the engine to replicated-log mode: the
+	// caller supplies monotone revisions via ApplyAt, and internal-mode
+	// operations (Put, Update, Commit, Watch, leases) are rejected.
+	ExternalRevs bool
+}
+
+// version is one entry in a key's MVCC chain.
+type version struct {
+	rev  uint64
+	val  any
+	tomb bool
+}
+
+// history is a key's version chain, ascending by revision.
+type history struct {
+	versions []version
+}
+
+// at returns the live value visible at rev.
+func (h *history) at(rev uint64) (any, uint64, bool) {
+	for i := len(h.versions) - 1; i >= 0; i-- {
+		v := h.versions[i]
+		if v.rev > rev {
+			continue
+		}
+		if v.tomb {
+			return nil, 0, false
+		}
+		return v.val, v.rev, true
+	}
+	return nil, 0, false
+}
+
+// latest returns the newest installed value (tombstones read as absent).
+func (h *history) latest() (any, uint64, bool) {
+	if len(h.versions) == 0 {
+		return nil, 0, false
+	}
+	v := h.versions[len(h.versions)-1]
+	if v.tomb {
+		return nil, 0, false
+	}
+	return v.val, v.rev, true
+}
+
+// shard owns a hash slice of the keyspace.
+type shard struct {
+	mu   sync.RWMutex
+	keys map[string]*history
+	// log is the shard's apply log: events appended by writers under mu,
+	// drained (merged into revision order across shards) by the hub.
+	log []Event
+}
+
+// install appends a version to key's chain, bounding its length.
+func (s *shard) install(key string, v version, limit int) {
+	h := s.keys[key]
+	if h == nil {
+		h = &history{}
+		s.keys[key] = h
+	}
+	if n := len(h.versions); n > 0 && h.versions[n-1].rev == v.rev {
+		// Same-revision rewrite (multi-op commit touching one key twice):
+		// the later op wins within the revision.
+		h.versions[n-1] = v
+		return
+	}
+	h.versions = append(h.versions, v)
+	if len(h.versions) > limit {
+		h.versions = h.versions[len(h.versions)-limit:]
+	}
+}
+
+// Engine is the sharded MVCC store.
+type Engine struct {
+	shards   []*shard
+	hist     int
+	external bool
+
+	gate *gate       // internal mode: revision ordering layer
+	hub  *Hub[Event] // internal mode: watch dispatch
+
+	extFloor  atomic.Uint64 // external mode: last applied revision
+	compacted atomic.Uint64
+	closed    atomic.Bool
+
+	drainWake chan struct{}
+	stop      chan struct{}
+	stopOnce  sync.Once
+}
+
+// NewEngine builds an engine from cfg (zero fields take defaults).
+func NewEngine(cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.HistoryLimit <= 0 {
+		cfg.HistoryLimit = DefaultHistoryLimit
+	}
+	e := &Engine{
+		shards:   make([]*shard, cfg.Shards),
+		hist:     cfg.HistoryLimit,
+		external: cfg.ExternalRevs,
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{keys: make(map[string]*history)}
+	}
+	if !e.external {
+		e.gate = newGate()
+		e.hub = NewHub[Event]()
+		e.drainWake = make(chan struct{}, 1)
+		e.stop = make(chan struct{})
+		go e.drainLoop()
+	}
+	return e
+}
+
+// Close shuts the engine down. Watchers stop receiving events; further
+// writes fail with ErrClosed.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	if !e.external {
+		e.stopOnce.Do(func() { close(e.stop) })
+		e.hub.Close()
+	}
+}
+
+// Shards reports the configured shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Hash32 is the FNV-1a string hash used for shard and stripe selection
+// across the metadata plane.
+func Hash32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shardFor hashes key to its owning shard.
+func (e *Engine) shardFor(key string) *shard {
+	return e.shards[Hash32(key)%uint32(len(e.shards))]
+}
+
+func (e *Engine) writableInternal() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.external {
+		return fmt.Errorf("%w: internal-revision op on ExternalRevs engine", ErrExternalRevs)
+	}
+	return nil
+}
+
+// finish retires rev in the gate and wakes the hub drain when the floor
+// moved (newly contiguous history may be deliverable to watchers).
+func (e *Engine) finish(rev uint64) {
+	if e.gate.end(rev) {
+		select {
+		case e.drainWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Put installs value under key at a fresh revision.
+//
+// Revisions are assigned while holding the shard lock (here and in
+// Update/Commit): lock order and revision order then agree within a
+// shard, so every key's version chain and every shard's apply log stay
+// revision-ascending. Assigning before locking would let two writers to
+// one key install out of order and corrupt the chain.
+func (e *Engine) Put(key string, value any) (uint64, error) {
+	if err := e.writableInternal(); err != nil {
+		return 0, err
+	}
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	rev := e.gate.begin()
+	sh.install(key, version{rev: rev, val: value}, e.hist)
+	sh.log = append(sh.log, Event{Type: EventPut, Key: key, Value: value, Rev: rev})
+	sh.mu.Unlock()
+	e.finish(rev)
+	return rev, nil
+}
+
+// Insert installs value only if the key has no live value.
+func (e *Engine) Insert(key string, value any) (uint64, error) {
+	rev, _, err := e.Update(key, func(_ any, exists bool) (any, Action, error) {
+		if exists {
+			return nil, ActSkip, ErrExists
+		}
+		return value, ActWrite, nil
+	})
+	return rev, err
+}
+
+// Delete writes a tombstone for key. It reports whether a live value was
+// removed; deleting an absent key is not an error.
+func (e *Engine) Delete(key string) (uint64, bool, error) {
+	return e.DeleteIf(key, nil)
+}
+
+// DeleteIf deletes key only when pred accepts the current value (nil
+// pred always accepts). Returns whether the delete happened.
+func (e *Engine) DeleteIf(key string, pred func(cur any) bool) (uint64, bool, error) {
+	rev, wrote, err := e.Update(key, func(cur any, exists bool) (any, Action, error) {
+		if !exists || (pred != nil && !pred(cur)) {
+			return nil, ActSkip, nil
+		}
+		return nil, ActDelete, nil
+	})
+	return rev, wrote, err
+}
+
+// Update runs fn for key under its shard's write lock — the per-key
+// atomic read-modify-write primitive. fn sees the current live value
+// (nil, false when absent) and decides the action. The value handed to
+// fn aliases stored state: callers must copy before mutating. Returns
+// the commit revision and whether a version was written; fn's error
+// aborts with nothing written.
+func (e *Engine) Update(key string, fn func(cur any, exists bool) (any, Action, error)) (uint64, bool, error) {
+	if err := e.writableInternal(); err != nil {
+		return 0, false, err
+	}
+	sh := e.shardFor(key)
+	var rev uint64
+	var wrote bool
+	sh.mu.Lock()
+	var cur any
+	var exists bool
+	if h := sh.keys[key]; h != nil {
+		cur, _, exists = h.latest()
+	}
+	nv, act, err := fn(cur, exists)
+	if err == nil {
+		// The revision is allocated only when a version is actually
+		// written, after fn returns — a skipped or aborted update never
+		// holds a pending revision, so it cannot stall the floor.
+		switch act {
+		case ActWrite:
+			rev = e.gate.begin()
+			sh.install(key, version{rev: rev, val: nv}, e.hist)
+			sh.log = append(sh.log, Event{Type: EventPut, Key: key, Value: nv, Rev: rev})
+			wrote = true
+		case ActDelete:
+			if exists {
+				rev = e.gate.begin()
+				sh.install(key, version{rev: rev, tomb: true}, e.hist)
+				sh.log = append(sh.log, Event{Type: EventDelete, Key: key, Rev: rev})
+				wrote = true
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if wrote {
+		e.finish(rev)
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if !wrote {
+		return 0, false, nil
+	}
+	return rev, true, nil
+}
+
+// Commit applies ops atomically across shards at one revision: the
+// involved shards are locked in index order, so a snapshot reader sees
+// all of the commit or none of it.
+func (e *Engine) Commit(ops []Op) (uint64, error) {
+	if err := e.writableInternal(); err != nil {
+		return 0, err
+	}
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	// Lock the involved shards in index order (deadlock-free).
+	involved := make(map[*shard]bool, len(ops))
+	for _, op := range ops {
+		involved[e.shardFor(op.Key)] = true
+	}
+	locked := make([]*shard, 0, len(involved))
+	for _, sh := range e.shards {
+		if involved[sh] {
+			locked = append(locked, sh)
+		}
+	}
+	for _, sh := range locked {
+		sh.mu.Lock()
+	}
+	rev := e.gate.begin()
+	for _, op := range ops {
+		sh := e.shardFor(op.Key)
+		switch op.Kind {
+		case OpPut:
+			sh.install(op.Key, version{rev: rev, val: op.Value}, e.hist)
+			sh.log = append(sh.log, Event{Type: EventPut, Key: op.Key, Value: op.Value, Rev: rev})
+		case OpDelete:
+			var exists bool
+			if h := sh.keys[op.Key]; h != nil {
+				_, _, exists = h.latest()
+			}
+			if exists {
+				sh.install(op.Key, version{rev: rev, tomb: true}, e.hist)
+				sh.log = append(sh.log, Event{Type: EventDelete, Key: op.Key, Rev: rev})
+			}
+		}
+	}
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].mu.Unlock()
+	}
+	e.finish(rev)
+	return rev, nil
+}
+
+// Get returns key's latest committed value. Single-key reads are
+// linearizable: installed versions are durable before their writer is
+// acknowledged, and there are no aborts.
+func (e *Engine) Get(key string) (any, uint64, bool) {
+	sh := e.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if h := sh.keys[key]; h != nil {
+		return h.latest()
+	}
+	return nil, 0, false
+}
+
+// Snapshot returns a revision safe for consistent multi-key reads: every
+// write acknowledged before the call is visible at it. It waits (without
+// blocking writers) for the floor to cover completed revisions.
+func (e *Engine) Snapshot() uint64 {
+	if e.external {
+		return e.extFloor.Load()
+	}
+	target := e.gate.maxDone.Load()
+	e.gate.waitFloor(target)
+	return e.gate.floorNow()
+}
+
+// ScanAt returns the live keys under prefix as of rev, sorted by key.
+// Only brief per-shard read locks are held: scans never block writers.
+func (e *Engine) ScanAt(prefix string, rev uint64) ([]KV, error) {
+	if rev < e.compacted.Load() {
+		return nil, fmt.Errorf("%w: rev %d < compaction floor %d", ErrCompacted, rev, e.compacted.Load())
+	}
+	var out []KV
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for k, h := range sh.keys {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			if v, vr, ok := h.at(rev); ok {
+				out = append(out, KV{Key: k, Value: v, Rev: vr})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Scan is ScanAt at a fresh Snapshot revision.
+func (e *Engine) Scan(prefix string) ([]KV, uint64, error) {
+	rev := e.Snapshot()
+	kvs, err := e.ScanAt(prefix, rev)
+	return kvs, rev, err
+}
+
+// ScanLatest returns each live key under prefix at its newest installed
+// version, sorted by key. Unlike Scan it is not a point-in-time
+// snapshot; it is the read-your-writes path for per-key bookkeeping
+// (unique-index checks) and the deterministic range read in ExternalRevs
+// mode, where the apply loop is single-threaded.
+func (e *Engine) ScanLatest(prefix string) []KV {
+	var out []KV
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for k, h := range sh.keys {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			if v, vr, ok := h.latest(); ok {
+				out = append(out, KV{Key: k, Value: v, Rev: vr})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Compact discards version history below rev: each key keeps its newest
+// version at or below rev (its base for reads >= rev) plus everything
+// newer. Keys whose base is a tombstone with nothing newer are removed
+// entirely. Reads below rev fail with ErrCompacted afterwards.
+func (e *Engine) Compact(rev uint64) {
+	for {
+		cur := e.compacted.Load()
+		if rev <= cur {
+			return
+		}
+		if e.compacted.CompareAndSwap(cur, rev) {
+			break
+		}
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for k, h := range sh.keys {
+			// Find the base: newest version with rev' <= rev.
+			base := -1
+			for i, v := range h.versions {
+				if v.rev <= rev {
+					base = i
+				} else {
+					break
+				}
+			}
+			if base < 0 {
+				continue
+			}
+			if base == len(h.versions)-1 && h.versions[base].tomb {
+				delete(sh.keys, k)
+				continue
+			}
+			h.versions = append([]version(nil), h.versions[base:]...)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// CompactedRev reports the current compaction floor.
+func (e *Engine) CompactedRev() uint64 { return e.compacted.Load() }
+
+// Watch subscribes to changes of keys under prefix, delivered in strict
+// revision order. Events begin after the current delivered revision.
+// Only available in internal-revision mode (external callers own their
+// replicated delivery and should use a Hub directly).
+func (e *Engine) Watch(prefix string) (<-chan Event, func(), error) {
+	if e.external {
+		return nil, nil, fmt.Errorf("%w: Watch on ExternalRevs engine", ErrExternalRevs)
+	}
+	if e.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	ch, cancel := e.hub.Watch(prefix)
+	return ch, cancel, nil
+}
+
+// drainLoop merges per-shard apply logs into revision order and hands
+// them to the hub whenever the floor advances.
+func (e *Engine) drainLoop() {
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.drainWake:
+			e.drainOnce()
+		}
+	}
+}
+
+// drainOnce delivers every undelivered event at or below the floor. The
+// per-shard logs may hold events out of revision order (writers append
+// in lock-acquisition order); the merge sorts them into the single
+// serial history watchers observe.
+func (e *Engine) drainOnce() {
+	floor := e.gate.floorNow()
+	e.hub.Sync(func(delivered uint64) (uint64, []Event) {
+		if floor <= delivered {
+			return delivered, nil
+		}
+		var batch []Event
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			keep := sh.log[:0]
+			for _, ev := range sh.log {
+				if ev.Rev <= floor {
+					batch = append(batch, ev)
+				} else {
+					keep = append(keep, ev)
+				}
+			}
+			sh.log = keep
+			sh.mu.Unlock()
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].Rev < batch[j].Rev })
+		return floor, batch
+	})
+}
+
+// ApplyAt installs ops at the caller-supplied revision (ExternalRevs
+// mode). The caller must apply revisions in increasing order from a
+// single goroutine — a replicated log's apply loop. The resulting events
+// are returned for the caller's own delivery layer.
+func (e *Engine) ApplyAt(rev uint64, ops []Op) ([]Event, error) {
+	if !e.external {
+		return nil, fmt.Errorf("%w: ApplyAt on internal-revision engine", ErrExternalRevs)
+	}
+	var events []Event
+	for _, op := range ops {
+		sh := e.shardFor(op.Key)
+		sh.mu.Lock()
+		switch op.Kind {
+		case OpPut:
+			sh.install(op.Key, version{rev: rev, val: op.Value}, e.hist)
+			events = append(events, Event{Type: EventPut, Key: op.Key, Value: op.Value, Rev: rev})
+		case OpDelete:
+			var exists bool
+			if h := sh.keys[op.Key]; h != nil {
+				_, _, exists = h.latest()
+			}
+			if exists {
+				sh.install(op.Key, version{rev: rev, tomb: true}, e.hist)
+				events = append(events, Event{Type: EventDelete, Key: op.Key, Rev: rev})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if rev > e.extFloor.Load() {
+		e.extFloor.Store(rev)
+	}
+	return events, nil
+}
+
+// Export returns every live key at its latest version, sorted by key —
+// the state-machine image for replicated-log snapshots.
+func (e *Engine) Export() []KV {
+	return e.ScanLatest("")
+}
+
+// Import replaces the engine's contents with kvs, installing each at its
+// recorded revision, and advances the floor to the highest of them (or
+// floorAtLeast if greater). Used to restore from a snapshot image. Only
+// ExternalRevs engines can import: an internal engine's gate assigns
+// dense revisions from 1 and cannot adopt arbitrary ones.
+func (e *Engine) Import(kvs []KV, floorAtLeast uint64) error {
+	if !e.external {
+		return fmt.Errorf("%w: Import on internal-revision engine", ErrExternalRevs)
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.keys = make(map[string]*history)
+		sh.log = nil
+		sh.mu.Unlock()
+	}
+	floor := floorAtLeast
+	for _, kv := range kvs {
+		sh := e.shardFor(kv.Key)
+		sh.mu.Lock()
+		sh.install(kv.Key, version{rev: kv.Rev, val: kv.Value}, e.hist)
+		sh.mu.Unlock()
+		if kv.Rev > floor {
+			floor = kv.Rev
+		}
+	}
+	if floor > e.extFloor.Load() {
+		e.extFloor.Store(floor)
+	}
+	return nil
+}
+
+// gate is the ordering layer: it assigns dense revisions and tracks the
+// floor — the highest revision R with every revision <= R installed —
+// via a fixed ring of per-revision state slots, so writers to different
+// shards coordinate only through a few atomic words plus a short
+// advance-critical-section instead of a store-wide mutex.
+type gate struct {
+	next    atomic.Uint64
+	floor   atomic.Uint64
+	maxDone atomic.Uint64 // highest retired revision (visibility target)
+
+	slots     []atomic.Uint32 // 0 free, 1 pending, 2 done
+	mask      uint64
+	advanceMu sync.Mutex
+}
+
+// gateRing is the in-flight revision window. Writers beyond it spin in
+// begin until the floor catches up — in practice unreachable (it would
+// need 16k concurrent in-flight writes).
+const gateRing = 1 << 14
+
+func newGate() *gate {
+	return &gate{slots: make([]atomic.Uint32, gateRing), mask: gateRing - 1}
+}
+
+// begin assigns the next revision and marks it pending.
+func (g *gate) begin() uint64 {
+	r := g.next.Add(1)
+	s := &g.slots[r&g.mask]
+	for !s.CompareAndSwap(0, 1) {
+		runtime.Gosched() // ring wrap: wait for rev r-gateRing to retire
+	}
+	return r
+}
+
+// end retires rev and advances the floor over the contiguous done
+// prefix. Reports whether the floor moved.
+func (g *gate) end(rev uint64) bool {
+	g.slots[rev&g.mask].Store(2)
+	for {
+		m := g.maxDone.Load()
+		if rev <= m || g.maxDone.CompareAndSwap(m, rev) {
+			break
+		}
+	}
+	g.advanceMu.Lock()
+	f := g.floor.Load()
+	start := f
+	for {
+		s := &g.slots[(f+1)&g.mask]
+		if s.Load() != 2 {
+			break
+		}
+		s.Store(0)
+		f++
+	}
+	if f != start {
+		g.floor.Store(f)
+	}
+	g.advanceMu.Unlock()
+	return f != start
+}
+
+// floorNow loads the floor.
+func (g *gate) floorNow() uint64 { return g.floor.Load() }
+
+// waitFloor spins until the floor reaches target. Progress is guaranteed
+// because every begun revision is retired on all paths.
+func (g *gate) waitFloor(target uint64) {
+	for g.floor.Load() < target {
+		runtime.Gosched()
+	}
+}

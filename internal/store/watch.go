@@ -1,0 +1,189 @@
+package store
+
+import "sync"
+
+// Keyed is the event shape the Hub can dispatch: anything carrying a key
+// (for prefix filtering) and a revision (for ordering and dedup).
+type Keyed interface {
+	EventKey() string
+	EventRev() uint64
+}
+
+// Hub fans events out to prefix watchers in strict revision order. It is
+// the store's delivery layer, and is also used standalone by the etcd
+// facade, whose replicated appliers produce the same event at the same
+// revision on every node: Publish's revision cursor accepts each
+// revision exactly once, whichever applier gets there first.
+//
+// Publishing never blocks on watcher channels: accepted events go into
+// an ordered queue drained by the hub's dispatcher goroutine, which is
+// the only party doing (possibly blocking) channel sends. A stalled
+// watcher therefore delays other watchers' delivery, but never a
+// publisher — in the etcd facade that property keeps client operations
+// live while a subscriber lags.
+type Hub[E Keyed] struct {
+	// mu guards the cursor and queue; held only for short enqueues.
+	mu        sync.Mutex
+	delivered uint64 // highest accepted revision
+	queue     []E    // accepted, not yet dispatched (revision order)
+
+	// watchersMu guards the subscription list only; cancellation never
+	// needs mu, so a blocked delivery cannot deadlock a cancel.
+	watchersMu sync.RWMutex
+	watchers   []*watcher[E]
+	closed     bool
+
+	wake chan struct{}
+	stop chan struct{}
+	once sync.Once
+}
+
+// watcher receives events for keys under its prefix.
+type watcher[E Keyed] struct {
+	prefix   string
+	startRev uint64 // events at or below this are before the subscription
+	ch       chan E
+	done     chan struct{}
+}
+
+// NewHub returns an empty hub and starts its dispatcher.
+func NewHub[E Keyed]() *Hub[E] {
+	h := &Hub[E]{wake: make(chan struct{}, 1), stop: make(chan struct{})}
+	go h.dispatchLoop()
+	return h
+}
+
+// Watch subscribes to events for keys under prefix. Delivery begins with
+// the first revision accepted after the call — a write acknowledged
+// before Watch returns is never replayed to the new watcher. Cancel is
+// idempotent.
+func (h *Hub[E]) Watch(prefix string) (<-chan E, func()) {
+	w := &watcher[E]{prefix: prefix, ch: make(chan E, 128), done: make(chan struct{})}
+	h.mu.Lock()
+	w.startRev = h.delivered
+	h.mu.Unlock()
+	h.watchersMu.Lock()
+	if h.closed {
+		h.watchersMu.Unlock()
+		close(w.done)
+		return w.ch, func() {}
+	}
+	h.watchers = append(h.watchers, w)
+	h.watchersMu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.watchersMu.Lock()
+			for i, x := range h.watchers {
+				if x == w {
+					h.watchers = append(h.watchers[:i], h.watchers[i+1:]...)
+					break
+				}
+			}
+			h.watchersMu.Unlock()
+			close(w.done)
+		})
+	}
+	return w.ch, cancel
+}
+
+// Publish accepts events for revision rev, exactly once per revision:
+// republishing an already-accepted revision is a no-op. Revisions must
+// be published in nondecreasing order by each caller goroutine; the
+// first publisher of a revision wins. Publish never blocks on delivery.
+func (h *Hub[E]) Publish(rev uint64, events []E) {
+	h.Sync(func(delivered uint64) (uint64, []E) {
+		if rev <= delivered {
+			return delivered, nil
+		}
+		return rev, events
+	})
+}
+
+// Sync runs fill under the cursor lock — fill sees the accepted cursor
+// and returns the new cursor plus the ordered batch to enqueue. The
+// engine's drain uses it to collect shard logs atomically with cursor
+// advancement.
+func (h *Hub[E]) Sync(fill func(delivered uint64) (uint64, []E)) {
+	h.mu.Lock()
+	upTo, events := fill(h.delivered)
+	if upTo > h.delivered {
+		h.delivered = upTo
+	}
+	if len(events) > 0 {
+		h.queue = append(h.queue, events...)
+	}
+	h.mu.Unlock()
+	if len(events) > 0 {
+		select {
+		case h.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// dispatchLoop is the hub's single delivering goroutine.
+func (h *Hub[E]) dispatchLoop() {
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.wake:
+		}
+		for {
+			h.mu.Lock()
+			batch := h.queue
+			h.queue = nil
+			h.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			h.watchersMu.RLock()
+			targets := append([]*watcher[E](nil), h.watchers...)
+			h.watchersMu.RUnlock()
+			for _, ev := range batch {
+				for _, w := range targets {
+					if ev.EventRev() <= w.startRev {
+						continue
+					}
+					if !hasPrefix(ev.EventKey(), w.prefix) {
+						continue
+					}
+					select {
+					case w.ch <- ev:
+					case <-w.done:
+					case <-h.stop:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Delivered reports the highest accepted revision.
+func (h *Hub[E]) Delivered() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.delivered
+}
+
+// Close cancels every watcher and stops the dispatcher; subsequent Watch
+// calls return a dead subscription.
+func (h *Hub[E]) Close() {
+	h.watchersMu.Lock()
+	ws := h.watchers
+	h.watchers = nil
+	h.closed = true
+	h.watchersMu.Unlock()
+	for _, w := range ws {
+		close(w.done)
+	}
+	h.once.Do(func() { close(h.stop) })
+}
+
+// hasPrefix avoids pulling strings into the hot dispatch path signature.
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

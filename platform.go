@@ -42,6 +42,12 @@ type Options struct {
 	APIReplicas int
 	// EtcdReplicas is the etcd cluster size (default 3, as the paper).
 	EtcdReplicas int
+	// MetadataShards is the shard count of the metadata-plane store
+	// engine backing both MongoDB and each etcd replica's state machine
+	// (default: the store package default). More shards buy write
+	// parallelism for high job-concurrency workloads; 1 degenerates to a
+	// single-lock store.
+	MetadataShards int
 
 	// Scheduling selects the per-pod placement policy for the simulated
 	// cluster (default kube.PolicyBinPack; kube.PolicySpread trades
@@ -133,8 +139,8 @@ func New(opts Options) (*Platform, error) {
 	p.nfs = nfs.NewServer(p.clk)
 	p.link = netsim.NewSharedLink(netsim.Ethernet1G, p.clk)
 	p.store = objectstore.New(p.clk, p.link)
-	p.mongo = mongo.New(p.clk)
-	p.etcd = etcd.New(opts.EtcdReplicas, p.clk)
+	p.mongo = mongo.NewSharded(p.clk, opts.MetadataShards)
+	p.etcd = etcd.NewSharded(opts.EtcdReplicas, p.clk, opts.MetadataShards)
 	p.bus = rpc.NewBus(p.clk)
 
 	nodes := make([]kube.NodeSpec, 0, opts.Nodes)
@@ -226,6 +232,9 @@ func (p *Platform) closePartial() {
 	}
 	if p.etcd != nil {
 		p.etcd.Close()
+	}
+	if p.mongo != nil {
+		p.mongo.Close()
 	}
 	if p.ownsClock != nil {
 		p.ownsClock.Close()
