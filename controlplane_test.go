@@ -1,0 +1,284 @@
+package dlaas
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the watch-driven control plane end to end:
+// Guardian resume-from-revision across a crash, the compacted-revision
+// re-list fallback, watch mode surviving etcd leader failover under a
+// mixed workload, and the efficiency claim itself — watch mode issues
+// strictly fewer etcd Range scans per completed job than poll mode.
+
+// guardianPods selects a job's live Guardian pods.
+func guardianPods(p *Platform, jobID string) []string {
+	var out []string
+	for _, pod := range p.Cluster().Pods(map[string]string{"app": "dlaas-guardian", "job": jobID}) {
+		out = append(out, pod.Name())
+	}
+	return out
+}
+
+// killGuardian crash-kills the job's Guardian pod, returning whether a
+// victim existed.
+func killGuardian(t *testing.T, p *Platform, jobID string) bool {
+	t.Helper()
+	pods := guardianPods(p, jobID)
+	if len(pods) == 0 {
+		return false
+	}
+	if err := p.Chaos().KillPod(pods[0]); err != nil {
+		t.Fatalf("killing guardian %s: %v", pods[0], err)
+	}
+	return true
+}
+
+// TestGuardianResumesWatchFromJournaledRevision: kill the Guardian while
+// the job trains; the restarted Guardian must resume its status watch
+// from the journaled revision (no re-list, no missed or duplicated
+// transition) and drive the job to COMPLETED.
+func TestGuardianResumesWatchFromJournaledRevision(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{})
+	client := p.Client("resume")
+	m := testManifest(t, p, "resume", 1)
+	m.DatasetImages = 20000 // train long enough to crash mid-flight
+
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one status event land (and be journaled) post-PROCESSING.
+	p.Clock().Sleep(5 * time.Second)
+	if !killGuardian(t, p, id) {
+		t.Fatal("no guardian pod to kill")
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 3*time.Hour); err != nil {
+		t.Fatalf("job did not complete after guardian crash: %v", err)
+	}
+
+	if got := p.Metrics().Counter("guardian_monitor_resumes"); got < 1 {
+		t.Fatalf("guardian_monitor_resumes = %v, want >= 1 (restart did not resume from the journal)", got)
+	}
+	// A clean resume re-lists only at fresh deployment (once) and on the
+	// long-interval liveness backstop — never because the restart fell
+	// back.
+	relists := p.Metrics().Counter("guardian_monitor_relists")
+	backstops := p.Metrics().Counter("guardian_monitor_backstops")
+	if relists > backstops+1 {
+		t.Fatalf("relists = %v with %v backstops, want at most backstops+1 (resume fell back to re-list)", relists, backstops)
+	}
+	if got := p.Metrics().Counter("guardian_monitor_resume_compacted"); got != 0 {
+		t.Fatalf("guardian_monitor_resume_compacted = %v, want 0", got)
+	}
+
+	// No duplicated transitions: the history walks the canonical path
+	// exactly once per state.
+	events, err := client.Events(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[JobState]int{}
+	for _, ev := range events {
+		seen[ev.State]++
+	}
+	for _, st := range []JobState{StateProcessing, StateStoring, StateCompleted} {
+		if seen[st] != 1 {
+			t.Fatalf("state %s recorded %d times in %v, want exactly once", st, seen[st], events)
+		}
+	}
+}
+
+// TestGuardianWatchCompactedFallsBackToRelist: when the journaled
+// revision has been truncated out of the store's history by the time
+// the Guardian restarts, the resume must fail typed and fall back to a
+// snapshot re-list — and the job must still complete.
+func TestGuardianWatchCompactedFallsBackToRelist(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{})
+	p.Etcd().SetCompactEvery(10)
+	client := p.Client("compacted")
+	m := testManifest(t, p, "compacted", 1)
+	m.DatasetImages = 20000
+
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	p.Clock().Sleep(5 * time.Second)
+
+	// Overflow one hot key's bounded version chain so the truncation
+	// floor passes the Guardian's journaled revision, then crash it: the
+	// restarted monitor's WatchFrom must return ErrCompacted.
+	for i := 0; i < 48; i++ {
+		if _, err := p.Etcd().Put("/chaff/hot", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !killGuardian(t, p, id) {
+		t.Fatal("no guardian pod to kill")
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 3*time.Hour); err != nil {
+		t.Fatalf("job did not complete after compacted resume: %v", err)
+	}
+	if got := p.Metrics().Counter("guardian_monitor_resume_compacted"); got < 1 {
+		t.Fatalf("guardian_monitor_resume_compacted = %v, want >= 1", got)
+	}
+	if got := p.Metrics().Counter("guardian_monitor_relists"); got < 2 {
+		t.Fatalf("guardian_monitor_relists = %v, want >= 2 (initial list + compaction fallback)", got)
+	}
+}
+
+// TestWatchControlPlaneSurvivesEtcdLeaderFailover: a mixed workload on
+// the watch-driven control plane keeps completing when the etcd leader
+// crashes mid-run — watches re-deliver through the hub regardless of
+// which replica leads, and the liveness backstops cover the gap.
+func TestWatchControlPlaneSurvivesEtcdLeaderFailover(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{Nodes: 4, GPUsPerNode: 4})
+	client := p.Client("failover")
+
+	var ids []string
+	for i, learners := range []int{1, 2, 1} {
+		m := testManifest(t, p, fmt.Sprintf("failover%d", i), learners)
+		m.Name = fmt.Sprintf("failover-%d", i)
+		id, err := client.Submit(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Wait until the fleet is training, then kill the etcd leader.
+	if _, err := client.WaitForState(ids[0], StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	leader := p.Etcd().LeaderID()
+	if leader < 0 {
+		t.Fatal("no etcd leader")
+	}
+	p.Etcd().CrashNode(leader)
+
+	for _, id := range ids {
+		if _, err := client.WaitForState(id, StateCompleted, 4*time.Hour); err != nil {
+			t.Fatalf("job %s failed across etcd leader failover: %v", id, err)
+		}
+	}
+	p.Etcd().RestartNode(leader)
+}
+
+// TestWatchModeFewerEtcdRanges is the acceptance criterion as a test:
+// for one identical job, the watch control plane issues strictly fewer
+// etcd Range scans than the poll control plane.
+func TestWatchModeFewerEtcdRanges(t *testing.T) {
+	skipIfShort(t)
+	ranges := func(mode string) uint64 {
+		p := newTestPlatform(t, Options{ControlPlane: mode})
+		client := p.Client("ab")
+		m := testManifest(t, p, "ab", 1)
+		id, err := client.Submit(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.WaitForState(id, StateCompleted, 3*time.Hour); err != nil {
+			t.Fatalf("%s-mode job: %v", mode, err)
+		}
+		return p.Etcd().RangeOps()
+	}
+	watch := ranges("watch")
+	poll := ranges("poll")
+	t.Logf("etcd ranges per job: watch=%d poll=%d", watch, poll)
+	if watch >= poll {
+		t.Fatalf("watch mode issued %d ranges, poll mode %d — watch must be strictly fewer", watch, poll)
+	}
+}
+
+// TestHaltPropagatesThroughChangeFeed: user termination must reach a
+// watch-mode Guardian through the metadata change feed (not only the
+// backstop poll) and tear the job down promptly.
+func TestHaltPropagatesThroughChangeFeed(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{})
+	client := p.Client("halter")
+	m := testManifest(t, p, "halter", 1)
+	m.DatasetImages = 200000
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Halt(id); err != nil {
+		t.Fatal(err)
+	}
+	deadline := p.Clock().Now().Add(2 * time.Minute)
+	for p.Clock().Now().Before(deadline) {
+		if len(p.Cluster().Pods(map[string]string{"app": "dlaas-learner", "job": id})) == 0 {
+			return
+		}
+		p.Clock().Sleep(time.Second)
+	}
+	t.Fatal("learner pods survived halt on the watch control plane")
+}
+
+// TestStoreMetricsExposed: the metadata-plane instrumentation the watch
+// path is observed through — per-shard commit counters, the watch hub's
+// queue-depth gauge, etcd client-op counts — lands in the platform
+// metrics registry.
+func TestStoreMetricsExposed(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{})
+	client := p.Client("obs")
+	m := testManifest(t, p, "obs", 1)
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 3*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	reg := p.Metrics()
+	var shardCommits float64
+	for i := 0; i < 64; i++ {
+		shardCommits += reg.Counter("store_shard_commits", "mongo", fmt.Sprintf("shard-%d", i))
+	}
+	if shardCommits == 0 {
+		t.Fatalf("no mongo shard commits recorded:\n%s", reg.Snapshot())
+	}
+	if got := reg.Counter("etcd_client_ops", "put"); got == 0 {
+		t.Fatal("etcd client-op counters not recorded")
+	}
+	if got := reg.Counter("etcd_client_ops", "watch"); got == 0 {
+		t.Fatal("watch subscriptions not counted (watch mode should open them)")
+	}
+	if p.Etcd().RangeOps() == 0 {
+		t.Fatal("RangeOps counter never moved (the initial list should count)")
+	}
+}
+
+// TestPollControlPlaneStillWorks: the pre-refactor mode stays a fully
+// functional escape hatch.
+func TestPollControlPlaneStillWorks(t *testing.T) {
+	skipIfShort(t)
+	p := newTestPlatform(t, Options{ControlPlane: "poll"})
+	client := p.Client("old")
+	m := testManifest(t, p, "old", 1)
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 3*time.Hour); err != nil {
+		t.Fatalf("poll-mode job failed: %v", err)
+	}
+	if got := p.Metrics().Counter("guardian_monitor_resumes"); got != 0 {
+		t.Fatalf("poll mode used the watch path (resumes=%v)", got)
+	}
+}

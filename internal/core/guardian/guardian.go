@@ -21,8 +21,11 @@ import (
 	"repro/internal/core/learner"
 	"repro/internal/core/manifest"
 	"repro/internal/core/types"
+	"repro/internal/etcd"
+	"repro/internal/events"
 	"repro/internal/gpu"
 	"repro/internal/kube"
+	"repro/internal/mongo"
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
 )
@@ -32,8 +35,19 @@ import (
 // (configurable) number of times before the Guardian gives up").
 const DefaultMaxDeployAttempts = 3
 
-// monitorPoll is the Guardian's status-aggregation cadence.
+// monitorPoll is the Guardian's status-aggregation cadence in poll mode.
 const monitorPoll = 500 * time.Millisecond
+
+// watchTick is the watch-mode cadence for conditions with no event
+// stream: gang preemption, the results-stored NFS marker, and (as a
+// shield against a lost change-feed event) the halt check. None of
+// these touch etcd.
+const watchTick = time.Second
+
+// watchRelist is the watch-mode liveness backstop: a full etcd re-list
+// of learner statuses at a long interval, guarding against a wedged
+// watch the way the poll loop did every 500ms.
+const watchRelist = 15 * time.Second
 
 // Params configures one job's Guardian.
 type Params struct {
@@ -46,6 +60,11 @@ type Params struct {
 	// setup, API round trips). It also widens the window in which
 	// crash-injection tests can catch the Guardian mid-deployment.
 	StepDelay time.Duration
+	// ControlPlane selects the monitoring strategy:
+	// core.ControlPlaneWatch (default) reacts to revision-ordered etcd
+	// watch events and resumes from the journaled revision after a
+	// restart; core.ControlPlanePoll is the pre-refactor 500ms loop.
+	ControlPlane string
 }
 
 // Resource naming conventions (name-addressed so a restarted Guardian
@@ -77,6 +96,15 @@ type journal struct {
 	// Steps records which resources have been created (informational;
 	// rollback is defensive and deletes by name regardless).
 	Steps []string `json:"steps"`
+	// MonitorRev is the last etcd revision whose learner-status events
+	// the watch-mode monitor folded into the job state; a restarted
+	// Guardian resumes its watch exactly after it — no missed and no
+	// re-processed transitions.
+	MonitorRev uint64 `json:"monitor_rev,omitempty"`
+	// Statuses is the aggregated per-learner view as of MonitorRev
+	// (keyed by ordinal), so the resumed monitor starts from state
+	// instead of an etcd re-list.
+	Statuses map[int]types.StatusUpdate `json:"statuses,omitempty"`
 }
 
 // ContainerSpec builds the Guardian container. Guardians are small Go
@@ -342,8 +370,109 @@ func resolveGPU(d *core.Deps, m *manifest.Manifest) gpu.Spec {
 }
 
 // monitor aggregates learner statuses from etcd into the job state in
-// MongoDB until the job reaches a terminal state, then tears down.
+// MongoDB until the job reaches a terminal state, then tears down. The
+// strategy is selected by Params.ControlPlane: event-driven watches
+// (default) or the pre-refactor poll loop.
 func monitor(ctx *kube.ContainerCtx, p Params) int {
+	if p.ControlPlane == core.ControlPlanePoll {
+		return monitorByPoll(ctx, p)
+	}
+	return monitorByWatch(ctx, p)
+}
+
+// settle folds the aggregated learner statuses into the job state,
+// driving the terminal transitions. done=true means the Guardian's work
+// is finished and the monitor must exit with the returned code.
+//
+// announced remembers the non-terminal state this monitor last wrote.
+// The poll loop passes a fresh value each sweep (preserving its
+// timestamped same-state refresh); the watch loop persists it across
+// wakeups, so settling is write-free while nothing changed — a monitor
+// that re-wrote PROCESSING on every wakeup would emit a metadata change
+// event, observe its own event on the job feed, and wake again: a
+// self-feeding storm.
+func settle(p Params, statuses []types.StatusUpdate, announced *types.JobState) (code int, done bool) {
+	d := p.Deps
+	training, completed, failed := 0, 0, 0
+	var failDetail string
+	for _, s := range statuses {
+		switch s.Status {
+		case types.LearnerTraining:
+			training++
+		case types.LearnerCompleted:
+			completed++
+		case types.LearnerFailed:
+			failed++
+			failDetail = fmt.Sprintf("learner %d failed (%s)", s.Learner, s.Detail)
+		}
+	}
+	announce := func(to types.JobState, reason string) {
+		if *announced == to {
+			return
+		}
+		// Only remember the state once the write committed: a transient
+		// mongo failure here must be retried on the next wakeup, or the
+		// record would be stranded one state behind (and the later
+		// COMPLETED transition rejected by the state machine).
+		if _, err := d.TransitionJob(p.JobID, to, reason); err == nil {
+			*announced = to
+		}
+	}
+	switch {
+	case failed > 0:
+		failJob(d, p.JobID, failDetail)
+		shipLogs(d, p.JobID, p.Manifest)
+		teardown(d, p.JobID)
+		cleanupEtcd(d, p.JobID)
+		return 0, true
+	case completed == p.Manifest.Learners && p.Manifest.Learners > 0:
+		// All learners done: move to STORING, wait for the helper's
+		// store-results marker, then COMPLETED.
+		announce(types.StateStoring, "all learners completed")
+		if *announced != types.StateStoring || !resultsStored(d, p.JobID) {
+			return 0, false
+		}
+		if _, err := d.TransitionJob(p.JobID, types.StateCompleted, "results stored"); err != nil {
+			// The terminal write must land before teardown; retry.
+			return 0, false
+		}
+		teardown(d, p.JobID)
+		cleanupEtcd(d, p.JobID)
+		return 0, true
+	case training > 0:
+		announce(types.StateProcessing, "learners training")
+	}
+	return 0, false
+}
+
+// handleHalt tears the job down after user termination.
+func handleHalt(p Params) int {
+	d := p.Deps
+	shipLogs(d, p.JobID, p.Manifest)
+	teardown(d, p.JobID)
+	cleanupEtcd(d, p.JobID)
+	return 0
+}
+
+// handlePreemption maps a gang preemption to the Guardian's rollback:
+// cancel the gang, tear down the partial deployment, and redeploy from
+// scratch on a fresh Guardian attempt. The attempt counter is reset —
+// preemption is the scheduler's doing, not a deployment failure, so it
+// must not burn the job's retry budget.
+func handlePreemption(p Params) int {
+	d := p.Deps
+	_, _ = d.TransitionJob(p.JobID, types.StateDeploying, "preempted by higher-priority job; redeploying")
+	shipLogs(d, p.JobID, p.Manifest)
+	rollback(d, p.JobID)
+	_ = d.Etcd.Delete(types.GuardianJournalKey(p.JobID))
+	_ = d.ResetDeployAttempts(p.JobID)
+	return 1
+}
+
+// monitorByPoll is the pre-refactor monitor: a full etcd Range of the
+// learner statuses every 500ms, kept behind ControlPlane "poll" for A/B
+// comparison.
+func monitorByPoll(ctx *kube.ContainerCtx, p Params) int {
 	d := p.Deps
 	for {
 		select {
@@ -354,61 +483,19 @@ func monitor(ctx *kube.ContainerCtx, p Params) int {
 
 		rec, err := d.GetJob(p.JobID)
 		if err == nil && rec.State == types.StateHalted {
-			shipLogs(d, p.JobID, p.Manifest)
-			teardown(d, p.JobID)
-			cleanupEtcd(d, p.JobID)
-			return 0
+			return handleHalt(p)
 		}
-
-		// Preemption by a higher-priority gang maps to the Guardian's
-		// rollback: cancel the gang, tear down the partial deployment,
-		// and redeploy from scratch on a fresh Guardian attempt. The
-		// attempt counter is reset — preemption is the scheduler's
-		// doing, not a deployment failure, so it must not burn the
-		// job's retry budget.
 		if g := d.Kube.GangByName(GangName(p.JobID)); g != nil && g.State() == kube.GangPreempted {
-			_, _ = d.TransitionJob(p.JobID, types.StateDeploying, "preempted by higher-priority job; redeploying")
-			shipLogs(d, p.JobID, p.Manifest)
-			rollback(d, p.JobID)
-			_ = d.Etcd.Delete(types.GuardianJournalKey(p.JobID))
-			_ = d.ResetDeployAttempts(p.JobID)
-			return 1
+			return handlePreemption(p)
 		}
 
 		statuses, err := readStatuses(d, p.JobID)
 		if err == nil {
-			training, completed, failed := 0, 0, 0
-			var failDetail string
-			for _, s := range statuses {
-				switch s.Status {
-				case types.LearnerTraining:
-					training++
-				case types.LearnerCompleted:
-					completed++
-				case types.LearnerFailed:
-					failed++
-					failDetail = fmt.Sprintf("learner %d failed (%s)", s.Learner, s.Detail)
-				}
-			}
-			switch {
-			case failed > 0:
-				failJob(d, p.JobID, failDetail)
-				shipLogs(d, p.JobID, p.Manifest)
-				teardown(d, p.JobID)
-				cleanupEtcd(d, p.JobID)
-				return 0
-			case completed == p.Manifest.Learners && p.Manifest.Learners > 0:
-				// All learners done: move to STORING, wait for the
-				// helper's store-results marker, then COMPLETED.
-				_, _ = d.TransitionJob(p.JobID, types.StateStoring, "all learners completed")
-				if resultsStored(d, p.JobID) {
-					_, _ = d.TransitionJob(p.JobID, types.StateCompleted, "results stored")
-					teardown(d, p.JobID)
-					cleanupEtcd(d, p.JobID)
-					return 0
-				}
-			case training > 0:
-				_, _ = d.TransitionJob(p.JobID, types.StateProcessing, "learners training")
+			// A fresh announced value per sweep keeps the pre-refactor
+			// timestamped same-state refresh.
+			var announced types.JobState
+			if code, done := settle(p, statuses, &announced); done {
+				return code
 			}
 		}
 
@@ -418,7 +505,202 @@ func monitor(ctx *kube.ContainerCtx, p Params) int {
 	}
 }
 
-// readStatuses loads the latest per-learner status updates from etcd.
+// monitorByWatch is the event-driven monitor: a list-then-watch state
+// machine over the job's learner-status prefix. Status events are folded
+// into an aggregated per-learner view as they commit; the last folded
+// revision (and the view itself) is journaled, so a restarted Guardian
+// resumes its watch exactly where the predecessor stopped — etcd is
+// re-listed only when the saved revision has been compacted past, and
+// once per watchRelist as a liveness backstop. Halts arrive on the
+// metadata change feed; gang preemption and the results-stored marker,
+// which have no event stream, ride the 1s tick (neither touches etcd).
+func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
+	d := p.Deps
+	prefix := types.LearnerStatusPrefix(p.JobID)
+	count := func(name string) {
+		if d.Metrics != nil {
+			d.Metrics.Inc(name)
+		}
+	}
+
+	// Restore the aggregated view and resume cursor from the journal.
+	j := loadJournal(d, p.JobID)
+	if j == nil {
+		j = &journal{Deployed: true}
+	}
+	statuses := make(map[int]types.StatusUpdate)
+	statusRev := make(map[int]uint64)
+	var lastRev uint64
+	if j.MonitorRev > 0 {
+		lastRev = j.MonitorRev
+		for l, u := range j.Statuses {
+			statuses[l] = u
+		}
+	}
+
+	fold := func(l int, u types.StatusUpdate, rev uint64) {
+		if rev > statusRev[l] {
+			statusRev[l] = rev
+			statuses[l] = u
+		}
+		if rev > lastRev {
+			lastRev = rev
+		}
+	}
+	foldEvent := func(ev etcd.Event) {
+		if ev.Type != etcd.EventPut {
+			return
+		}
+		env, ok := events.Decode([]byte(ev.Value))
+		if !ok || env.Kind != events.KindLearnerStatus {
+			return
+		}
+		fold(env.Learner, env.StatusUpdate(), ev.Rev)
+		count("guardian_monitor_events")
+	}
+
+	savedRev := lastRev
+	saveCursor := func() {
+		if lastRev == savedRev {
+			return
+		}
+		j.MonitorRev = lastRev
+		j.Statuses = make(map[int]types.StatusUpdate, len(statuses))
+		for l, u := range statuses {
+			j.Statuses[l] = u
+		}
+		saveJournal(d, p.JobID, j)
+		savedRev = lastRev
+	}
+
+	var evCh <-chan etcd.Event
+	var cancelWatch func()
+	defer func() {
+		if cancelWatch != nil {
+			cancelWatch()
+		}
+	}()
+
+	// relist falls back to list-then-watch: subscribe from the present
+	// first, then fill from a linearizable Range — an event committed
+	// between the two is applied twice at most, and the per-learner
+	// revision compare in fold dedupes it.
+	relist := func() bool {
+		if cancelWatch != nil {
+			cancelWatch()
+		}
+		evCh, cancelWatch = d.Etcd.Watch(prefix)
+		kvs, err := d.Etcd.Range(prefix)
+		if err != nil {
+			return false
+		}
+		count("guardian_monitor_relists")
+		for _, kv := range kvs {
+			if env, ok := events.Decode([]byte(kv.Value)); ok && env.Kind == events.KindLearnerStatus {
+				fold(env.Learner, env.StatusUpdate(), kv.Rev)
+			}
+		}
+		return true
+	}
+
+	if lastRev > 0 {
+		// Resume exactly after the last folded revision: history in
+		// (lastRev, now] is backfilled from the store's version chains.
+		ch, cancel, err := d.Etcd.WatchFrom(prefix, lastRev)
+		if err == nil {
+			evCh, cancelWatch = ch, cancel
+			count("guardian_monitor_resumes")
+		} else {
+			// Compacted past (or transient failure): snapshot re-list.
+			if errors.Is(err, etcd.ErrCompacted) {
+				count("guardian_monitor_resume_compacted")
+			}
+			if !relist() {
+				return 1
+			}
+		}
+	} else if !relist() {
+		return 1
+	}
+	// Persist the cursor immediately: a long event-free stretch (steady
+	// training) must still leave a resumable journal behind for the next
+	// incarnation.
+	saveCursor()
+
+	// Change feed for halt detection (event-driven; the tick re-checks
+	// via GetJob as a shield against a lost feed event).
+	var jobFeed <-chan mongo.ChangeEvent
+	if feed, cancelFeed, err := d.Jobs().Watch(); err == nil {
+		jobFeed = feed
+		defer cancelFeed()
+	}
+
+	lastList := d.Clock.Now()
+	var announced types.JobState
+	for {
+		// Act on the current aggregate before sleeping: the view may
+		// already be terminal (restored from the journal, or settled by
+		// the events just folded).
+		view := make([]types.StatusUpdate, 0, len(statuses))
+		for _, u := range statuses {
+			view = append(view, u)
+		}
+		if code, done := settle(p, view, &announced); done {
+			return code
+		}
+		if g := d.Kube.GangByName(GangName(p.JobID)); g != nil && g.State() == kube.GangPreempted {
+			return handlePreemption(p)
+		}
+
+		tick := d.Clock.NewTimer(watchTick)
+		select {
+		case <-ctx.Killed():
+			tick.Stop()
+			return 137
+		case ev := <-evCh:
+			tick.Stop()
+			foldEvent(ev)
+			// Drain whatever else is already pending so one settle
+			// covers the batch.
+		drain:
+			for {
+				select {
+				case ev := <-evCh:
+					foldEvent(ev)
+				default:
+					break drain
+				}
+			}
+			saveCursor()
+		case ce := <-jobFeed:
+			tick.Stop()
+			if ce.ID == p.JobID && !ce.Deleted {
+				if rec := core.RecordFromDoc(ce.Doc); rec.State == types.StateHalted {
+					return handleHalt(p)
+				}
+			}
+		case <-tick.C():
+			// Conditions with no event stream, plus the halt shield.
+			rec, err := d.GetJob(p.JobID)
+			if err == nil && rec.State == types.StateHalted {
+				return handleHalt(p)
+			}
+			if d.Clock.Now().Sub(lastList) >= watchRelist {
+				// Long-interval liveness backstop: re-list in case the
+				// watch stream wedged.
+				lastList = d.Clock.Now()
+				count("guardian_monitor_backstops")
+				if !relist() {
+					continue
+				}
+				saveCursor()
+			}
+		}
+	}
+}
+
+// readStatuses loads the latest per-learner status updates from etcd
+// (events.Envelope values; legacy raw StatusUpdate JSON still decodes).
 func readStatuses(d *core.Deps, jobID string) ([]types.StatusUpdate, error) {
 	kvs, err := d.Etcd.Range(types.LearnerStatusPrefix(jobID))
 	if err != nil {
@@ -426,9 +708,8 @@ func readStatuses(d *core.Deps, jobID string) ([]types.StatusUpdate, error) {
 	}
 	out := make([]types.StatusUpdate, 0, len(kvs))
 	for _, kv := range kvs {
-		var s types.StatusUpdate
-		if err := json.Unmarshal([]byte(kv.Value), &s); err == nil {
-			out = append(out, s)
+		if env, ok := events.Decode([]byte(kv.Value)); ok && env.Kind == events.KindLearnerStatus {
+			out = append(out, env.StatusUpdate())
 		}
 	}
 	return out, nil

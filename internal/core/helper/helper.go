@@ -16,6 +16,7 @@ import (
 	"repro/internal/core/learner"
 	"repro/internal/core/manifest"
 	"repro/internal/core/types"
+	"repro/internal/events"
 	"repro/internal/kube"
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
@@ -32,6 +33,10 @@ const (
 // gaps or duplicates ("K8S will restart the controller which can read
 // current status and previous statuses from NFS").
 const journalPath = "controller/journal"
+
+// ControllerLogPath is the controller's own NFS log (publish failures
+// and other diagnostics; shipped with learner logs by the collector).
+const ControllerLogPath = "controller/controller.log"
 
 // Markers written on the shared volume.
 const (
@@ -120,8 +125,10 @@ type controllerJournal struct {
 }
 
 // runController watches learner status and exit files on NFS and mirrors
-// them into etcd, where the Guardian aggregates them. Decoupling via etcd
-// is the paper's mechanism for reliable status updates.
+// them into etcd as events.Envelope records, where the Guardian
+// aggregates them (polling or watching, per Options.ControlPlane).
+// Decoupling via etcd is the paper's mechanism for reliable status
+// updates.
 func runController(ctx *kube.ContainerCtx, p Params) int {
 	d := p.Deps
 	vol, err := d.NFS.Volume(p.VolumeName)
@@ -135,6 +142,22 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 		_ = json.Unmarshal(raw, &journal) // corrupt journal = start fresh
 	}
 
+	// A failed publish is retried on the next poll, but it must not be
+	// silent: a wedged etcd would otherwise look like learners that never
+	// progress. Each failure is counted, and logged once per learner.
+	dropLogged := make(map[int]bool)
+	noteDrop := func(l int, stage string, err error) {
+		if d.Metrics != nil {
+			d.Metrics.Inc("controller_status_drops", stage)
+		}
+		if !dropLogged[l] {
+			dropLogged[l] = true
+			line := fmt.Sprintf("%s controller: dropping status update for learner %d (%s: %v); will retry\n",
+				d.Clock.Now().Format("15:04:05"), l, stage, err)
+			vol.Append(ControllerLogPath, []byte(line))
+		}
+	}
+
 	for {
 		for l := 0; l < p.Manifest.Learners; l++ {
 			status := currentLearnerStatus(vol, l)
@@ -145,21 +168,24 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 			if journal.Last[key] == status {
 				continue
 			}
-			update := types.StatusUpdate{
+			env := events.LearnerStatus(p.JobID, types.StatusUpdate{
 				Learner: l,
 				Status:  status,
 				Time:    d.Clock.Now(),
 				Detail:  progressDetail(vol, l),
-			}
-			raw, err := json.Marshal(update)
+			})
+			raw, err := env.Encode()
 			if err != nil {
+				noteDrop(l, "marshal", err)
 				continue
 			}
 			if _, err := d.Etcd.Put(types.LearnerStatusKey(p.JobID, l), string(raw)); err != nil {
 				// etcd momentarily unavailable (leader election):
 				// retry on the next poll rather than losing the update.
+				noteDrop(l, "etcd-put", err)
 				continue
 			}
+			dropLogged[l] = false
 			journal.Last[key] = status
 			if jraw, err := json.Marshal(journal); err == nil {
 				vol.Write(journalPath, jraw)
@@ -172,7 +198,8 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 }
 
 // currentLearnerStatus derives learner l's status from the shared volume:
-// the exit file wins (orderly termination), otherwise the status file.
+// the exit file wins (orderly termination), otherwise the status file
+// (an events.Envelope, or a bare status string from older learners).
 func currentLearnerStatus(vol *nfs.Volume, l int) types.LearnerStatus {
 	if code, ok := vol.ReadExitCode(l); ok {
 		if code == 0 {
@@ -184,7 +211,11 @@ func currentLearnerStatus(vol *nfs.Volume, l int) types.LearnerStatus {
 	if err != nil {
 		return ""
 	}
-	return types.LearnerStatus(raw)
+	env, ok := events.Decode(raw)
+	if !ok {
+		return ""
+	}
+	return types.LearnerStatus(env.Status)
 }
 
 func progressDetail(vol *nfs.Volume, l int) string {

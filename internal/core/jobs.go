@@ -149,6 +149,11 @@ func (d *Deps) ResetDeployAttempts(id string) error {
 	return nil
 }
 
+// RecordFromDoc decodes a jobs-collection document into a JobRecord —
+// the adapter for change-feed consumers (LCM, Guardian) that receive
+// raw documents from Collection.Watch.
+func RecordFromDoc(doc mongo.Document) types.JobRecord { return docToRecord(doc) }
+
 func recordToDoc(rec types.JobRecord) (mongo.Document, error) {
 	if rec.ID == "" {
 		return nil, fmt.Errorf("core: job record without ID")

@@ -36,8 +36,15 @@ const (
 // counter is what bounds retries.
 const guardianBackoffLimit = 25
 
-// sweepInterval is the cadence of the QUEUED-job recovery sweep.
+// sweepInterval is the cadence of the QUEUED-job recovery sweep in
+// poll mode.
 const sweepInterval = 2 * time.Second
+
+// watchBackstop is the watch-mode liveness sweep cadence: the change
+// feed drives deployment and GC, and a full sweep at this long interval
+// catches anything a lost event (or a Guardian still unwinding at GC
+// time) would otherwise strand.
+const watchBackstop = 10 * time.Second
 
 // DeployRequest asks the LCM to take over a queued job.
 type DeployRequest struct {
@@ -66,6 +73,10 @@ type Service struct {
 	GuardianStepDelay time.Duration
 	// MaxDeployAttempts is forwarded to Guardians.
 	MaxDeployAttempts int
+	// ControlPlane selects watch-driven (core.ControlPlaneWatch,
+	// default) or poll-driven operation; it is also forwarded to the
+	// Guardians this LCM creates.
+	ControlPlane string
 
 	mu     sync.Mutex
 	gcDone map[string]bool // jobs already garbage-collected
@@ -92,20 +103,72 @@ func (s *Service) ContainerSpec() kube.ContainerSpec {
 func (s *Service) run(ctx *kube.ContainerCtx) int {
 	reg := s.deps.Bus.Register(core.LCMService, ctx.PodName(), s.handle)
 	defer reg.Deregister()
+	if s.ControlPlane == core.ControlPlanePoll {
+		return s.runPoll(ctx)
+	}
+	return s.runWatch(ctx)
+}
 
-	// Recovery sweep: any job still QUEUED (e.g. the API durably
-	// accepted it and then the LCM crashed before deploying) gets a
-	// Guardian now — "submitted jobs are never lost". The sweep repeats
-	// so QUEUED jobs are picked up even if a deploy races a crash.
-	// Garbage collection — "the deployment, monitoring, garbage
-	// collection, and user-initiated termination of the job" — runs in
-	// the same loop: terminal jobs' leftover cluster resources are
-	// reaped as a backstop behind the Guardian's own teardown.
+// runPoll is the pre-refactor loop: re-list every job each sweep.
+//
+// Recovery sweep: any job still QUEUED (e.g. the API durably accepted
+// it and then the LCM crashed before deploying) gets a Guardian now —
+// "submitted jobs are never lost". The sweep repeats so QUEUED jobs are
+// picked up even if a deploy races a crash. Garbage collection — "the
+// deployment, monitoring, garbage collection, and user-initiated
+// termination of the job" — runs in the same loop: terminal jobs'
+// leftover cluster resources are reaped as a backstop behind the
+// Guardian's own teardown.
+func (s *Service) runPoll(ctx *kube.ContainerCtx) int {
 	for {
 		s.sweepQueued()
 		s.garbageCollect()
 		if !ctx.Sleep(sweepInterval) {
 			return 0
+		}
+	}
+}
+
+// runWatch drives deployment and garbage collection from the jobs
+// collection's change feed: one initial recovery sweep (the "list" of
+// list-then-watch), then a Guardian per QUEUED record and a reap per
+// terminal record as the transitions commit — no per-sweep re-list of
+// every job. A full sweep remains at a long interval as the liveness
+// backstop.
+func (s *Service) runWatch(ctx *kube.ContainerCtx) int {
+	feed, cancel, err := s.deps.Jobs().Watch()
+	if err != nil {
+		// Change feed unavailable: degrade to polling rather than dying.
+		return s.runPoll(ctx)
+	}
+	defer cancel()
+
+	s.sweepQueued()
+	s.garbageCollect()
+	for {
+		tick := s.deps.Clock.NewTimer(watchBackstop)
+		select {
+		case <-ctx.Killed():
+			tick.Stop()
+			return 0
+		case ce := <-feed:
+			tick.Stop()
+			if ce.Deleted {
+				continue
+			}
+			rec := core.RecordFromDoc(ce.Doc)
+			if s.deps.Metrics != nil {
+				s.deps.Metrics.Inc("lcm_feed_events", string(rec.State))
+			}
+			switch {
+			case rec.State == types.StateQueued:
+				_, _ = s.deploy(rec.ID)
+			case rec.State.Terminal():
+				s.collectJob(rec)
+			}
+		case <-tick.C():
+			s.sweepQueued()
+			s.garbageCollect()
 		}
 	}
 }
@@ -133,35 +196,42 @@ func (s *Service) garbageCollect() {
 		return
 	}
 	for _, rec := range jobs {
-		if !rec.State.Terminal() {
-			continue
+		if rec.State.Terminal() {
+			s.collectJob(rec)
 		}
-		s.mu.Lock()
-		done := s.gcDone[rec.ID]
-		s.mu.Unlock()
-		if done {
-			// Already reaped by this instance; a restarted LCM re-reaps
-			// once (idempotent deletes), which is the intended backstop.
-			continue
-		}
-		if kj := s.deps.Kube.JobByName(guardian.KubeJobName(rec.ID)); kj != nil {
-			if done, failed, _ := kj.Status(); done || failed {
-				s.deps.Kube.DeleteJob(kj.Name())
-			} else {
-				// Guardian still unwinding; let it finish first.
-				continue
-			}
-		}
-		guardian.Rollback(s.deps, rec.ID)
-		if kvs, err := s.deps.Etcd.Range(types.JobPrefix(rec.ID)); err == nil {
-			for _, kv := range kvs {
-				_ = s.deps.Etcd.Delete(kv.Key)
-			}
-		}
-		s.mu.Lock()
-		s.gcDone[rec.ID] = true
-		s.mu.Unlock()
 	}
+}
+
+// collectJob reaps one terminal job's resources: the finished Guardian
+// Kubernetes Job object, and — should a Guardian have died before its
+// own teardown completed — the job's cluster resources and etcd keys.
+func (s *Service) collectJob(rec types.JobRecord) {
+	s.mu.Lock()
+	done := s.gcDone[rec.ID]
+	s.mu.Unlock()
+	if done {
+		// Already reaped by this instance; a restarted LCM re-reaps
+		// once (idempotent deletes), which is the intended backstop.
+		return
+	}
+	if kj := s.deps.Kube.JobByName(guardian.KubeJobName(rec.ID)); kj != nil {
+		if done, failed, _ := kj.Status(); done || failed {
+			s.deps.Kube.DeleteJob(kj.Name())
+		} else {
+			// Guardian still unwinding; let it finish first (the
+			// backstop sweep retries).
+			return
+		}
+	}
+	guardian.Rollback(s.deps, rec.ID)
+	if kvs, err := s.deps.Etcd.Range(types.JobPrefix(rec.ID)); err == nil {
+		for _, kv := range kvs {
+			_ = s.deps.Etcd.Delete(kv.Key)
+		}
+	}
+	s.mu.Lock()
+	s.gcDone[rec.ID] = true
+	s.mu.Unlock()
 }
 
 // handle dispatches RPC calls.
@@ -211,6 +281,7 @@ func (s *Service) deploy(jobID string) (DeployResponse, error) {
 			Manifest:          m,
 			MaxDeployAttempts: s.MaxDeployAttempts,
 			StepDelay:         s.GuardianStepDelay,
+			ControlPlane:      s.ControlPlane,
 		})},
 		RestartPolicy: kube.RestartNever,
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/core/manifest"
 	"repro/internal/core/types"
+	"repro/internal/events"
 	"repro/internal/gpu"
 	"repro/internal/kube"
 	"repro/internal/netsim"
@@ -117,7 +118,18 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 		return ExitVolumeError
 	}
 	writeStatus := func(s types.LearnerStatus) {
-		vol.Write(StatusPath(p.Ordinal), []byte(s))
+		// The status file carries the shared control-plane envelope: the
+		// helper controller mirrors it into etcd verbatim-compatible form
+		// and the Guardian folds it into the job state — one schema from
+		// learner to LCM.
+		env := events.LearnerStatus(p.JobID, types.StatusUpdate{
+			Learner: p.Ordinal, Status: s, Time: d.Clock.Now(),
+		})
+		raw, err := env.Encode()
+		if err != nil {
+			raw = []byte(s) // legacy bare-string form, still decodable
+		}
+		vol.Write(StatusPath(p.Ordinal), raw)
 	}
 	logf := func(format string, args ...any) {
 		line := fmt.Sprintf("%s learner-%d: %s\n",

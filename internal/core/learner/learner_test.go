@@ -10,6 +10,7 @@ import (
 	"repro/internal/core/manifest"
 	"repro/internal/core/types"
 	"repro/internal/etcd"
+	"repro/internal/events"
 	"repro/internal/gpu"
 	"repro/internal/kube"
 	"repro/internal/metrics"
@@ -195,8 +196,13 @@ func TestLearnerTrainsToCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if raw, err := vol.Read(StatusPath(0)); err != nil || types.LearnerStatus(raw) != types.LearnerCompleted {
-		t.Fatalf("status = %s (%v), want COMPLETED", raw, err)
+	raw, err := vol.Read(StatusPath(0))
+	if err != nil {
+		t.Fatalf("reading status file: %v", err)
+	}
+	env, ok := events.Decode(raw)
+	if !ok || env.Kind != events.KindLearnerStatus || types.LearnerStatus(env.Status) != types.LearnerCompleted {
+		t.Fatalf("status envelope = %s (ok=%v), want COMPLETED", raw, ok)
 	}
 	logRaw, err := vol.Read(LogPath(0))
 	if err != nil || !strings.Contains(string(logRaw), "training complete") {

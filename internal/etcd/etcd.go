@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 	"repro/internal/raft"
 	"repro/internal/store"
 )
@@ -41,6 +42,11 @@ var (
 	ErrCASFailed = errors.New("etcd: compare failed")
 	// ErrClosed indicates the store has been shut down.
 	ErrClosed = errors.New("etcd: store closed")
+	// ErrCompacted indicates a WatchFrom start revision predates the
+	// replicas' retained MVCC history: the consumer cannot resume
+	// exactly and must fall back to Range + Watch from the present. It
+	// aliases store.ErrCompacted so errors.Is works across layers.
+	ErrCompacted = store.ErrCompacted
 )
 
 // EventType distinguishes watch events.
@@ -167,6 +173,14 @@ type Store struct {
 	compactEvery atomic.Int64
 	reqSeq       atomic.Uint64
 	closed       atomic.Bool
+	stopCh       chan struct{}
+
+	// Client-operation counters, split by kind: the control-plane
+	// benchmarks compare watch- vs poll-driven consumers by how many
+	// Range scans they cost per job.
+	opRanges, opPuts, opGets, opDeletes, opCAS, opTxns, opWatches atomic.Uint64
+
+	mtr atomic.Pointer[metrics.Registry]
 
 	waiters [waiterStripes]waiterStripe
 	hub     *store.Hub[Event]
@@ -190,6 +204,7 @@ func NewSharded(n int, clk clock.Clock, shards int) *Store {
 		cluster: raft.NewCluster(n, raft.DefaultConfig(clk)),
 		timeout: defaultRequestTimeout,
 		shards:  shards,
+		stopCh:  make(chan struct{}),
 		hub:     store.NewHub[Event](),
 		sms:     make(map[int]*stateMachine, n),
 		stops:   make(map[int]chan struct{}, n),
@@ -225,8 +240,50 @@ func (s *Store) Close() {
 	for _, st := range stops {
 		close(st)
 	}
+	close(s.stopCh)
 	s.cluster.Stop()
 	s.hub.Close()
+}
+
+// Instrument publishes the facade's operational metrics into reg: the
+// watch hub's queue depth, per-replica engine metrics (shard commits,
+// history drops), and client-operation counts. Call before serving.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mtr.Store(reg)
+	s.hub.Instrument(reg, "etcd")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, sm := range s.sms {
+		sm.instrument(reg, fmt.Sprintf("etcd-node%d", id))
+	}
+}
+
+// countOp tallies one client operation of the given kind.
+func (s *Store) countOp(kind string, ctr *atomic.Uint64) {
+	ctr.Add(1)
+	if reg := s.mtr.Load(); reg != nil {
+		reg.Inc("etcd_client_ops", kind)
+	}
+}
+
+// RangeOps reports how many Range scans clients have issued — the
+// denominator of the watch-vs-poll control-plane comparison.
+func (s *Store) RangeOps() uint64 { return s.opRanges.Load() }
+
+// OpCounts reports every client-operation counter by kind.
+func (s *Store) OpCounts() map[string]uint64 {
+	return map[string]uint64{
+		"range":  s.opRanges.Load(),
+		"put":    s.opPuts.Load(),
+		"get":    s.opGets.Load(),
+		"delete": s.opDeletes.Load(),
+		"cas":    s.opCAS.Load(),
+		"txn":    s.opTxns.Load(),
+		"watch":  s.opWatches.Load(),
+	}
 }
 
 // startApplier builds a state machine for node id — restored from the
@@ -238,6 +295,9 @@ func (s *Store) startApplier(id int) {
 		return
 	}
 	sm := newStateMachine(s.shards)
+	if reg := s.mtr.Load(); reg != nil {
+		sm.instrument(reg, fmt.Sprintf("etcd-node%d", id))
+	}
 	if snap, idx := node.Snapshot(); idx > 0 {
 		sm.restore(snap)
 		s.hub.Publish(idx, nil) // advance the delivery cursor past the image
@@ -333,6 +393,7 @@ func (s *Store) waiterLive(reqID string) bool {
 
 // Put stores value under key.
 func (s *Store) Put(key, value string) (rev uint64, err error) {
+	s.countOp("put", &s.opPuts)
 	res, err := s.propose(command{Op: opPut, Key: key, Value: value})
 	if err != nil {
 		return 0, fmt.Errorf("put %q: %w", key, err)
@@ -343,6 +404,7 @@ func (s *Store) Put(key, value string) (rev uint64, err error) {
 // Get returns the value stored under key. found reports existence.
 // The read is linearizable: it is sequenced through the Raft log.
 func (s *Store) Get(key string) (value string, found bool, err error) {
+	s.countOp("get", &s.opGets)
 	res, err := s.propose(command{Op: opGet, Key: key})
 	if err != nil {
 		return "", false, fmt.Errorf("get %q: %w", key, err)
@@ -352,6 +414,7 @@ func (s *Store) Get(key string) (value string, found bool, err error) {
 
 // Delete removes key. It is not an error to delete a missing key.
 func (s *Store) Delete(key string) error {
+	s.countOp("delete", &s.opDeletes)
 	if _, err := s.propose(command{Op: opDelete, Key: key}); err != nil {
 		return fmt.Errorf("delete %q: %w", key, err)
 	}
@@ -362,6 +425,7 @@ func (s *Store) Delete(key string) error {
 // current value equals prev (prevExists=false means "key must not
 // exist"). Returns ErrCASFailed when the precondition does not hold.
 func (s *Store) CompareAndSwap(key, prev string, prevExists bool, newValue string) error {
+	s.countOp("cas", &s.opCAS)
 	res, err := s.propose(command{
 		Op: opCAS, Key: key, Value: newValue, Prev: prev, PrevExists: prevExists,
 	})
@@ -379,6 +443,7 @@ func (s *Store) CompareAndSwap(key, prev string, prevExists bool, newValue strin
 // entry: the branch's mutations commit at one revision, and watchers see
 // them together. succeeded reports which branch ran.
 func (s *Store) Txn(cmps []Cmp, then, orElse []TxnOp) (succeeded bool, rev uint64, err error) {
+	s.countOp("txn", &s.opTxns)
 	res, err := s.propose(command{Op: opTxn, Cmps: cmps, Then: then, Else: orElse})
 	if err != nil {
 		return false, 0, fmt.Errorf("txn: %w", err)
@@ -388,6 +453,7 @@ func (s *Store) Txn(cmps []Cmp, then, orElse []TxnOp) (succeeded bool, rev uint6
 
 // Range returns all keys under prefix, sorted by key.
 func (s *Store) Range(prefix string) ([]KV, error) {
+	s.countOp("range", &s.opRanges)
 	res, err := s.propose(command{Op: opRange, Key: prefix})
 	if err != nil {
 		return nil, fmt.Errorf("range %q: %w", prefix, err)
@@ -399,7 +465,82 @@ func (s *Store) Range(prefix string) ([]KV, error) {
 // subscription. Events begin with the first revision applied after the
 // call.
 func (s *Store) Watch(prefix string) (events <-chan Event, cancel func()) {
+	s.countOp("watch", &s.opWatches)
 	return s.hub.Watch(prefix)
+}
+
+// WatchFrom subscribes to changes of keys under prefix starting after
+// startRev: every event with revision (Raft index) > startRev is
+// delivered exactly once, in order — events committed before the call
+// are backfilled from a replica's bounded MVCC version history, then
+// the stream continues live. It fails with ErrCompacted when the
+// retained history no longer reaches back to startRev (log compaction
+// or a snapshot restore dropped the window); the consumer then falls
+// back to Range + Watch from the present. This is the resume contract
+// the Guardian uses to pick up exactly where a crashed predecessor
+// left off.
+func (s *Store) WatchFrom(prefix string, startRev uint64) (<-chan Event, func(), error) {
+	if s.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	s.countOp("watch", &s.opWatches)
+	ch, cancel, cursor := s.hub.WatchCursor(prefix)
+	if startRev == cursor {
+		return ch, cancel, nil
+	}
+	var backfill []Event
+	if startRev < cursor {
+		sm := s.replicaAt(cursor)
+		if sm == nil {
+			cancel()
+			return nil, nil, fmt.Errorf("etcd: watch %q from %d: %w: no live replica reaches revision %d",
+				prefix, startRev, ErrCompacted, cursor)
+		}
+		var err error
+		backfill, err = sm.historyEvents(prefix, startRev, cursor)
+		if err != nil {
+			cancel()
+			return nil, nil, fmt.Errorf("etcd: watch %q from %d: %w", prefix, startRev, err)
+		}
+	}
+	after := cursor
+	if startRev > cursor {
+		// Resuming from a revision the hub has not delivered yet (e.g. a
+		// cursor saved by a faster replica): filter the overlap instead
+		// of replaying it.
+		after = startRev
+	}
+	out, stopSplice := store.SpliceEvents(backfill, ch, after, s.stopCh)
+	var once sync.Once
+	return out, func() { once.Do(func() { stopSplice(); cancel() }) }, nil
+}
+
+// replicaAt picks a live state machine whose applied floor covers rev,
+// preferring the one with the deepest retained history (lowest resume
+// floor). It waits briefly for an applier to catch up to the hub
+// cursor — the cursor only advances after some replica applied rev, but
+// that replica may have crashed since.
+func (s *Store) replicaAt(rev uint64) *stateMachine {
+	deadline := s.clk.Now().Add(2 * time.Second)
+	for {
+		var best *stateMachine
+		var bestFloor uint64
+		s.mu.Lock()
+		for _, sm := range s.sms {
+			eng := sm.engine()
+			if eng.Snapshot() < rev {
+				continue
+			}
+			if f := eng.ResumeFloor(); best == nil || f < bestFloor {
+				best, bestFloor = sm, f
+			}
+		}
+		s.mu.Unlock()
+		if best != nil || !s.clk.Now().Before(deadline) || s.closed.Load() {
+			return best
+		}
+		s.clk.Sleep(10 * time.Millisecond)
+	}
 }
 
 // propose routes cmd through the Raft log and waits for its application.
@@ -496,9 +637,11 @@ func (s *Store) LeaderID() int {
 // revision) plus the exactly-once dedup ledger. Its apply loop is
 // single-goroutine per replica; mu only fences apply against restore.
 type stateMachine struct {
-	mu    sync.Mutex
-	eng   *store.Engine
-	dedup map[string]uint64 // reqID -> applied index
+	mu      sync.Mutex
+	eng     *store.Engine
+	dedup   map[string]uint64 // reqID -> applied index
+	mtr     *metrics.Registry
+	mtrName string
 }
 
 func newStateMachine(shards int) *stateMachine {
@@ -506,6 +649,37 @@ func newStateMachine(shards int) *stateMachine {
 		eng:   store.NewEngine(store.Config{Shards: shards, ExternalRevs: true}),
 		dedup: make(map[string]uint64),
 	}
+}
+
+// engine returns the current backing engine (swapped by restore).
+func (m *stateMachine) engine() *store.Engine {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng
+}
+
+// instrument hooks the replica's engine into the metrics registry and
+// remembers the hookup so restore re-applies it to the fresh engine.
+func (m *stateMachine) instrument(reg *metrics.Registry, name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mtr, m.mtrName = reg, name
+	m.eng.Instrument(reg, name)
+}
+
+// historyEvents reconstructs the facade events in (from, to] for keys
+// under prefix from this replica's MVCC history.
+func (m *stateMachine) historyEvents(prefix string, from, to uint64) ([]Event, error) {
+	evs, err := m.engine().HistoryEvents(prefix, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		val, _ := ev.Value.(string)
+		out = append(out, Event{Type: EventType(ev.Type), Key: ev.Key, Value: val, Rev: ev.Rev})
+	}
+	return out, nil
 }
 
 // smSnapshot is the serialized state-machine image stored in Raft
@@ -546,6 +720,9 @@ func (m *stateMachine) restore(raw []byte) {
 	}
 	eng := store.NewEngine(store.Config{Shards: m.eng.Shards(), ExternalRevs: true})
 	_ = eng.Import(kvs, 0) // cannot fail: the engine is external-revs
+	if m.mtr != nil {
+		eng.Instrument(m.mtr, m.mtrName)
+	}
 	m.eng = eng
 	m.dedup = img.Dedup
 	if m.dedup == nil {
@@ -561,10 +738,14 @@ func (m *stateMachine) apply(idx uint64, cmd command) result {
 	if first, seen := m.dedup[cmd.ReqID]; seen && first != idx {
 		switch cmd.Op {
 		case opPut, opDelete, opCAS, opTxn:
+			_ = m.eng.AdvanceFloor(idx)
 			return result{rev: first, ok: true}
 		}
 	}
 	m.dedup[cmd.ReqID] = idx
+	// Track every applied index, including pure reads: the WatchFrom
+	// backfill compares this floor against the hub's delivery cursor.
+	_ = m.eng.AdvanceFloor(idx)
 
 	res := result{rev: idx}
 	applyOps := func(ops []store.Op) {

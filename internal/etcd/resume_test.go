@@ -1,0 +1,183 @@
+package etcd
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The tests in this file pin the resume-from-revision contract that the
+// watch-driven control plane builds on: WatchFrom(prefix, rev) delivers
+// every event with revision > rev exactly once — backfilled from the
+// replicas' MVCC history when committed before the call — or fails with
+// ErrCompacted when the history no longer reaches back, in which case
+// the consumer re-lists.
+
+// TestWatchFromResumesExactly: write, remember a mid-stream revision,
+// keep writing, then subscribe from the remembered revision — the
+// watcher sees precisely the later events, in order, no duplicates.
+func TestWatchFromResumesExactly(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	var cut uint64
+	const writes = 12
+	revs := make(map[uint64]string, writes)
+	for i := 0; i < writes; i++ {
+		rev, err := s.Put(fmt.Sprintf("/jobs/j/learners/%d/status", i%3), fmt.Sprintf("v%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		revs[rev] = fmt.Sprintf("v%d", i)
+		if i == writes/2-1 {
+			cut = rev
+		}
+	}
+
+	events, cancel, err := s.WatchFrom("/jobs/", cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	last := cut
+	got := 0
+	for rev := range revs {
+		if rev > cut {
+			got++
+		}
+	}
+	for i := 0; i < got; i++ {
+		ev := recvEvent(t, events)
+		if ev.Rev <= last {
+			t.Fatalf("revision order violated: %d after %d", ev.Rev, last)
+		}
+		if want, ok := revs[ev.Rev]; !ok || ev.Value != want {
+			t.Fatalf("event %+v does not match write at rev %d (%q)", ev, ev.Rev, want)
+		}
+		last = ev.Rev
+	}
+
+	// The stream continues live after the backfill.
+	liveRev, err := s.Put("/jobs/j/learners/0/status", "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev := recvEvent(t, events)
+		if ev.Rev == liveRev {
+			if ev.Value != "live" {
+				t.Fatalf("live event = %+v", ev)
+			}
+			break
+		}
+		if ev.Rev > liveRev {
+			t.Fatalf("missed live revision %d (got %d)", liveRev, ev.Rev)
+		}
+	}
+}
+
+// TestWatchFromCompactedFallsBackToRelist: after snapshot/compaction
+// passes the saved revision, WatchFrom reports ErrCompacted and the
+// consumer's Range + Watch fallback observes a consistent present.
+func TestWatchFromCompactedFallsBackToRelist(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	s.SetCompactEvery(10)
+	stale, err := s.Put("/jobs/j/learners/0/status", "STARTING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough traffic on one hot key that every replica's bounded version
+	// chain (store.DefaultHistoryLimit) trims past `stale`, while the
+	// raft log snapshots and compacts underneath.
+	for i := 0; i < 80; i++ {
+		if _, err := s.Put("/fill/hot", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Put("/jobs/j/learners/0/status", "TRAINING"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = s.WatchFrom("/jobs/", stale)
+	if !errors.Is(err, ErrCompacted) {
+		t.Fatalf("WatchFrom(stale) = %v, want ErrCompacted", err)
+	}
+
+	// Fallback: subscribe from the present, then re-list.
+	events, cancel := s.Watch("/jobs/")
+	defer cancel()
+	kvs, err := s.Range("/jobs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Value != "TRAINING" {
+		t.Fatalf("re-list = %+v, want the latest status", kvs)
+	}
+	// And the live stream still works post-fallback.
+	rev, err := s.Put("/jobs/j/learners/1/status", "TRAINING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := recvEvent(t, events)
+	if ev.Rev != rev || ev.Key != "/jobs/j/learners/1/status" {
+		t.Fatalf("post-fallback event = %+v, want rev %d", ev, rev)
+	}
+}
+
+// TestWatchFromFutureRevisionFiltersOverlap: resuming from a revision at
+// or past the hub cursor must not replay anything at or below it.
+func TestWatchFromFutureRevisionFiltersOverlap(t *testing.T) {
+	s, _ := newTestStore(t, 1)
+	rev, err := s.Put("/w/a", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel, err := s.WatchFrom("/w/", rev+1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	// Writes below the requested start are filtered...
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put("/w/b", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case ev := <-events:
+		if ev.Rev <= rev+1_000 {
+			t.Fatalf("event below requested start leaked: %+v", ev)
+		}
+	default:
+	}
+}
+
+// TestWatchFromSurvivesReplicaCrash: the backfill comes from whichever
+// live replica still holds the history, so a minority crash between the
+// saved revision and the resume does not break the contract.
+func TestWatchFromSurvivesReplicaCrash(t *testing.T) {
+	s, _ := newTestStore(t, 3)
+	var cut uint64
+	for i := 0; i < 6; i++ {
+		rev, err := s.Put(fmt.Sprintf("/jobs/l%d", i), "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			cut = rev
+		}
+	}
+	s.CrashNode(1)
+	events, cancel, err := s.WatchFrom("/jobs/", cut)
+	if err != nil {
+		t.Fatalf("WatchFrom with a crashed minority: %v", err)
+	}
+	defer cancel()
+	last := cut
+	for i := 0; i < 3; i++ {
+		ev := recvEvent(t, events)
+		if ev.Rev <= last {
+			t.Fatalf("revision order violated: %d after %d", ev.Rev, last)
+		}
+		last = ev.Rev
+	}
+}

@@ -1,0 +1,108 @@
+// Package events defines the one event envelope the four core services
+// (Learner, Helper, Guardian, LCM) exchange on the watch-driven control
+// plane. A status transition is produced once — by the learner on the
+// shared volume, mirrored by the helper controller into etcd, folded by
+// the Guardian into the job record, observed by the LCM on the job
+// change feed — and every hop speaks this schema: a typed kind, the
+// job/learner identity, the payload status, and the metadata-store
+// revision that committed it (the resume cursor).
+//
+// Decoding is tolerant of the pre-envelope wire formats (a bare learner
+// status string on NFS, a raw StatusUpdate JSON document in etcd) so
+// mixed-version components interoperate during a rolling upgrade.
+package events
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/core/types"
+)
+
+// Kind types an envelope's payload.
+type Kind string
+
+// Event kinds.
+const (
+	// KindLearnerStatus carries one learner's execution status
+	// (types.LearnerStatus in Status, ordinal in Learner).
+	KindLearnerStatus Kind = "learner-status"
+	// KindJobState carries a job lifecycle transition
+	// (types.JobState in Status).
+	KindJobState Kind = "job-state"
+)
+
+// Envelope is one control-plane event.
+type Envelope struct {
+	Kind    Kind   `json:"kind"`
+	JobID   string `json:"job_id,omitempty"`
+	Learner int    `json:"learner"`
+	// Status is the payload state: a types.LearnerStatus for
+	// KindLearnerStatus, a types.JobState for KindJobState.
+	Status string `json:"status"`
+	// Detail carries optional context (progress, failure reason).
+	Detail string `json:"detail,omitempty"`
+	// Time is the virtual timestamp of the transition; users depend on
+	// these for profiling.
+	Time time.Time `json:"time"`
+	// Rev is the metadata-store revision that committed the event — the
+	// cursor a consumer persists to resume its watch exactly. Zero until
+	// the write is acknowledged (producers don't know their revision in
+	// advance; watch consumers stamp it from the delivery).
+	Rev uint64 `json:"rev,omitempty"`
+}
+
+// LearnerStatus builds a learner-status envelope.
+func LearnerStatus(jobID string, u types.StatusUpdate) Envelope {
+	return Envelope{
+		Kind:    KindLearnerStatus,
+		JobID:   jobID,
+		Learner: u.Learner,
+		Status:  string(u.Status),
+		Detail:  u.Detail,
+		Time:    u.Time,
+	}
+}
+
+// JobState builds a job-state envelope.
+func JobState(jobID string, s types.JobState, detail string, t time.Time) Envelope {
+	return Envelope{Kind: KindJobState, JobID: jobID, Status: string(s), Detail: detail, Time: t}
+}
+
+// StatusUpdate converts a learner-status envelope back to the Guardian's
+// aggregation record.
+func (e Envelope) StatusUpdate() types.StatusUpdate {
+	return types.StatusUpdate{
+		Learner: e.Learner,
+		Status:  types.LearnerStatus(e.Status),
+		Time:    e.Time,
+		Detail:  e.Detail,
+	}
+}
+
+// Encode serializes the envelope for a store value or NFS file.
+func (e Envelope) Encode() ([]byte, error) { return json.Marshal(e) }
+
+// Decode parses raw as an envelope, tolerating legacy payloads: a raw
+// types.StatusUpdate JSON document decodes as KindLearnerStatus (its
+// field names are a subset of the envelope's), and a bare status string
+// (the pre-envelope NFS status file) becomes a learner-status envelope
+// with just Status set. ok is false for empty input or garbage.
+func Decode(raw []byte) (Envelope, bool) {
+	if len(raw) == 0 {
+		return Envelope{}, false
+	}
+	var e Envelope
+	if err := json.Unmarshal(raw, &e); err == nil {
+		if e.Kind == "" {
+			// Legacy StatusUpdate document: same field names, no kind.
+			e.Kind = KindLearnerStatus
+		}
+		if e.Status != "" {
+			return e, true
+		}
+		return Envelope{}, false
+	}
+	// Bare status string (not valid JSON).
+	return Envelope{Kind: KindLearnerStatus, Status: string(raw)}, true
+}

@@ -1,0 +1,74 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/types"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	u := types.StatusUpdate{
+		Learner: 2,
+		Status:  types.LearnerTraining,
+		Time:    time.Unix(100, 0).UTC(),
+		Detail:  "images=1280",
+	}
+	env := LearnerStatus("job-7", u)
+	raw, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Decode(raw)
+	if !ok {
+		t.Fatalf("Decode(%s) not ok", raw)
+	}
+	if got.Kind != KindLearnerStatus || got.JobID != "job-7" {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if back := got.StatusUpdate(); back != u {
+		t.Fatalf("round trip = %+v, want %+v", back, u)
+	}
+}
+
+func TestDecodeLegacyStatusUpdateJSON(t *testing.T) {
+	// The pre-envelope etcd wire format: a raw StatusUpdate document.
+	raw := []byte(`{"learner":1,"status":"COMPLETED","time":"2020-01-01T00:00:00Z","detail":"x"}`)
+	env, ok := Decode(raw)
+	if !ok || env.Kind != KindLearnerStatus {
+		t.Fatalf("legacy decode = %+v (ok=%v)", env, ok)
+	}
+	u := env.StatusUpdate()
+	if u.Learner != 1 || u.Status != types.LearnerCompleted || u.Detail != "x" {
+		t.Fatalf("legacy update = %+v", u)
+	}
+}
+
+func TestDecodeBareStatusString(t *testing.T) {
+	// The pre-envelope NFS status file: just the status bytes.
+	env, ok := Decode([]byte("TRAINING"))
+	if !ok || env.Status != string(types.LearnerTraining) {
+		t.Fatalf("bare decode = %+v (ok=%v)", env, ok)
+	}
+}
+
+func TestDecodeRejectsEmpty(t *testing.T) {
+	if _, ok := Decode(nil); ok {
+		t.Fatal("decoded empty input")
+	}
+	if _, ok := Decode([]byte(`{}`)); ok {
+		t.Fatal("decoded an empty JSON object into a status")
+	}
+}
+
+func TestJobStateEnvelope(t *testing.T) {
+	env := JobState("job-9", types.StateHalted, "user requested", time.Unix(5, 0))
+	raw, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Decode(raw)
+	if !ok || got.Kind != KindJobState || got.Status != string(types.StateHalted) || got.JobID != "job-9" {
+		t.Fatalf("job-state decode = %+v (ok=%v)", got, ok)
+	}
+}

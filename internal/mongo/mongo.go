@@ -24,11 +24,13 @@ package mongo
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
@@ -87,6 +89,11 @@ func NewSharded(clk clock.Clock, shards int) *DB {
 
 // Close shuts down the backing engine.
 func (d *DB) Close() { d.eng.Close() }
+
+// Instrument publishes the backing engine's metrics (per-shard commit
+// counts, floor lag, watch-hub queue depth) into reg under the "mongo"
+// label. Call before serving.
+func (d *DB) Instrument(reg *metrics.Registry) { d.eng.Instrument(reg, "mongo") }
 
 // SetDown simulates the database being unreachable (crash of the Mongo
 // deployment). Operations fail until SetDown(false).
@@ -370,6 +377,58 @@ func (c *Collection) mutateKey(id string, filter Filter, fn func(doc Document) e
 		c.writes.Add(1)
 	}
 	return out, wrote, nil
+}
+
+// ChangeEvent is one committed document change in a collection's change
+// feed: the document's new value (nil when Deleted) and the engine
+// revision that committed it.
+type ChangeEvent struct {
+	ID      string
+	Doc     Document
+	Deleted bool
+	Rev     uint64
+}
+
+// Watch opens a change feed over the collection: every committed
+// insert, update and delete after the call is delivered in revision
+// order. Pair with Find for list-then-watch consumers (the
+// lifecycle manager's QUEUED sweep) — the feed replaces re-listing the
+// collection on a poll loop. Cancel must be called to release the feed.
+func (c *Collection) Watch() (<-chan ChangeEvent, func(), error) {
+	ch, cancel, err := c.db.eng.Watch(c.prefix)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mongo: watch %s: %v", c.name, err)
+	}
+	out := make(chan ChangeEvent, 64)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			close(done)
+		})
+	}
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case ev := <-ch:
+				ce := ChangeEvent{ID: strings.TrimPrefix(ev.Key, c.prefix), Rev: ev.Rev}
+				if ev.Type == store.EventDelete {
+					ce.Deleted = true
+				} else {
+					ce.Doc = deepCopy(ev.Value.(Document))
+				}
+				select {
+				case out <- ce:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	return out, stop, nil
 }
 
 // DeleteOne removes the first document matching filter. It reports

@@ -40,6 +40,10 @@ type Bus struct {
 
 	mu       sync.Mutex
 	services map[string]*service
+	// notify is closed (and replaced lazily) whenever instance health or
+	// membership changes, waking WaitHealthy callers — the readiness
+	// signal that replaces busy-wait polling at platform boot.
+	notify chan struct{}
 }
 
 type service struct {
@@ -94,7 +98,58 @@ func (b *Bus) Register(name, id string, h Handler) *Registration {
 		b.services[name] = svc
 	}
 	svc.instances = append(svc.instances, r)
+	b.healthChangedLocked()
 	return r
+}
+
+// healthChangedLocked wakes WaitHealthy waiters; callers hold b.mu.
+func (b *Bus) healthChangedLocked() {
+	if b.notify != nil {
+		close(b.notify)
+		b.notify = nil
+	}
+}
+
+// healthWatch returns a channel closed on the next health change.
+func (b *Bus) healthWatch() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.notify == nil {
+		b.notify = make(chan struct{})
+	}
+	return b.notify
+}
+
+// WaitHealthy blocks until every named service has at least min healthy
+// instances, or timeout (on the bus clock) passes; it reports success.
+// Unlike polling HealthyInstances, it wakes on the registration or
+// recovery event itself.
+func (b *Bus) WaitHealthy(timeout time.Duration, min int, names ...string) bool {
+	deadline := b.clk.Now().Add(timeout)
+	for {
+		ch := b.healthWatch()
+		ready := true
+		for _, n := range names {
+			if b.HealthyInstances(n) < min {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+		remaining := deadline.Sub(b.clk.Now())
+		if remaining <= 0 {
+			return false
+		}
+		t := b.clk.NewTimer(remaining)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C():
+			return false
+		}
+	}
 }
 
 // Deregister removes the instance from the registry permanently.
@@ -117,6 +172,7 @@ func (r *Registration) Deregister() {
 			break
 		}
 	}
+	b.healthChangedLocked()
 }
 
 // SetUp marks the instance healthy (true) or crashed (false). A crashed
@@ -124,9 +180,17 @@ func (r *Registration) Deregister() {
 // K8s will restart in place.
 func (r *Registration) SetUp(up bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	changed := !r.gone && r.up != up
 	if !r.gone {
 		r.up = up
+	}
+	r.mu.Unlock()
+	if changed {
+		// Signal outside r.mu: Call/pick acquire bus.mu before r.mu, so
+		// holding r.mu here would invert the lock order.
+		r.bus.mu.Lock()
+		r.bus.healthChangedLocked()
+		r.bus.mu.Unlock()
 	}
 }
 

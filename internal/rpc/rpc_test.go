@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 )
@@ -166,5 +167,78 @@ func TestConcurrentCalls(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestWaitHealthyWakesOnRegistration: WaitHealthy blocks until the
+// awaited services register, waking on the registration event itself
+// (the platform-boot readiness signal that replaced the sleep loop).
+func TestWaitHealthyWakesOnRegistration(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+
+	done := make(chan bool, 1)
+	go func() { done <- b.WaitHealthy(time.Minute, 1, "api", "lcm") }()
+
+	// Registrations arrive a little apart; the waiter must not return
+	// until both services are up.
+	clk.Sleep(50 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("WaitHealthy returned before any registration")
+	default:
+	}
+	b.Register("api", "a0", echoHandler("a0"))
+	clk.Sleep(50 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("WaitHealthy returned with lcm still missing")
+	default:
+	}
+	b.Register("lcm", "l0", echoHandler("l0"))
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitHealthy = false with both services registered")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitHealthy never woke after registration")
+	}
+}
+
+// TestWaitHealthyTimesOut: with a service missing, WaitHealthy returns
+// false once the (virtual) deadline passes.
+func TestWaitHealthyTimesOut(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	b.Register("api", "a0", echoHandler("a0"))
+	if b.WaitHealthy(200*time.Millisecond, 1, "api", "never") {
+		t.Fatal("WaitHealthy = true for an unregistered service")
+	}
+}
+
+// TestWaitHealthySeesRecovery: an instance crashing to zero healthy and
+// recovering via SetUp wakes a waiter.
+func TestWaitHealthySeesRecovery(t *testing.T) {
+	b, clk := newTestBus()
+	defer clk.Close()
+	r := b.Register("api", "a0", echoHandler("a0"))
+	r.SetUp(false)
+	done := make(chan bool, 1)
+	go func() { done <- b.WaitHealthy(time.Minute, 1, "api") }()
+	clk.Sleep(50 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("WaitHealthy returned while instance down")
+	default:
+	}
+	r.SetUp(true)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitHealthy = false after recovery")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitHealthy never woke after SetUp(true)")
 	}
 }

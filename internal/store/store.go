@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Common errors.
@@ -170,6 +172,7 @@ func (h *history) latest() (any, uint64, bool) {
 
 // shard owns a hash slice of the keyspace.
 type shard struct {
+	idx  int
 	mu   sync.RWMutex
 	keys map[string]*history
 	// log is the shard's apply log: events appended by writers under mu,
@@ -177,23 +180,12 @@ type shard struct {
 	log []Event
 }
 
-// install appends a version to key's chain, bounding its length.
-func (s *shard) install(key string, v version, limit int) {
-	h := s.keys[key]
-	if h == nil {
-		h = &history{}
-		s.keys[key] = h
-	}
-	if n := len(h.versions); n > 0 && h.versions[n-1].rev == v.rev {
-		// Same-revision rewrite (multi-op commit touching one key twice):
-		// the later op wins within the revision.
-		h.versions[n-1] = v
-		return
-	}
-	h.versions = append(h.versions, v)
-	if len(h.versions) > limit {
-		h.versions = h.versions[len(h.versions)-limit:]
-	}
+// instrumentation is the optional metrics hookup, installed atomically
+// so commit paths can check it without a lock.
+type instrumentation struct {
+	reg         *metrics.Registry
+	name        string
+	shardLabels []string
 }
 
 // Engine is the sharded MVCC store.
@@ -207,11 +199,61 @@ type Engine struct {
 
 	extFloor  atomic.Uint64 // external mode: last applied revision
 	compacted atomic.Uint64
+	// truncated is the highest revision dropped from a version chain by
+	// per-key history trimming or snapshot import; together with the
+	// compaction floor it bounds how far back WatchFrom can backfill.
+	truncated atomic.Uint64
 	closed    atomic.Bool
+
+	instr atomic.Pointer[instrumentation]
 
 	drainWake chan struct{}
 	stop      chan struct{}
 	stopOnce  sync.Once
+}
+
+// install appends a version to key's chain in sh, bounding its length
+// and accounting any dropped history against the truncation floor.
+// Callers hold sh.mu.
+func (e *Engine) install(sh *shard, key string, v version) {
+	h := sh.keys[key]
+	if h == nil {
+		h = &history{}
+		sh.keys[key] = h
+	}
+	if n := len(h.versions); n > 0 && h.versions[n-1].rev == v.rev {
+		// Same-revision rewrite (multi-op commit touching one key twice):
+		// the later op wins within the revision.
+		h.versions[n-1] = v
+		return
+	}
+	h.versions = append(h.versions, v)
+	if drop := len(h.versions) - e.hist; drop > 0 {
+		raiseMax(&e.truncated, h.versions[drop-1].rev)
+		h.versions = h.versions[drop:]
+		e.countDrops(drop)
+	}
+	if in := e.instr.Load(); in != nil {
+		in.reg.Inc("store_shard_commits", in.name, in.shardLabels[sh.idx])
+	}
+}
+
+// countDrops accumulates versions discarded from history (trimming or
+// compaction) into the drop counter.
+func (e *Engine) countDrops(n int) {
+	if in := e.instr.Load(); in != nil && n > 0 {
+		in.reg.Add("store_history_drops", float64(n), in.name)
+	}
+}
+
+// raiseMax lifts a to at least v.
+func raiseMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // NewEngine builds an engine from cfg (zero fields take defaults).
@@ -228,7 +270,7 @@ func NewEngine(cfg Config) *Engine {
 		external: cfg.ExternalRevs,
 	}
 	for i := range e.shards {
-		e.shards[i] = &shard{keys: make(map[string]*history)}
+		e.shards[i] = &shard{idx: i, keys: make(map[string]*history)}
 	}
 	if !e.external {
 		e.gate = newGate()
@@ -254,6 +296,24 @@ func (e *Engine) Close() {
 
 // Shards reports the configured shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Instrument publishes the engine's operational metrics into reg under
+// the given name label: per-shard commit counts, snapshot floor lag,
+// history-drop counts, and (internal mode) the watch hub's queue depth.
+// Call once, before the engine starts serving traffic.
+func (e *Engine) Instrument(reg *metrics.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	in := &instrumentation{reg: reg, name: name, shardLabels: make([]string, len(e.shards))}
+	for i := range e.shards {
+		in.shardLabels[i] = fmt.Sprintf("shard-%d", i)
+	}
+	e.instr.Store(in)
+	if e.hub != nil {
+		e.hub.Instrument(reg, name)
+	}
+}
 
 // Hash32 is the FNV-1a string hash used for shard and stripe selection
 // across the metadata plane.
@@ -310,7 +370,7 @@ func (e *Engine) Put(key string, value any) (uint64, error) {
 	sh := e.shardFor(key)
 	sh.mu.Lock()
 	rev := e.gate.begin()
-	sh.install(key, version{rev: rev, val: value}, e.hist)
+	e.install(sh, key, version{rev: rev, val: value})
 	sh.log = append(sh.log, Event{Type: EventPut, Key: key, Value: value, Rev: rev})
 	sh.mu.Unlock()
 	e.finish(rev)
@@ -373,13 +433,13 @@ func (e *Engine) Update(key string, fn func(cur any, exists bool) (any, Action, 
 		switch act {
 		case ActWrite:
 			rev = e.gate.begin()
-			sh.install(key, version{rev: rev, val: nv}, e.hist)
+			e.install(sh, key, version{rev: rev, val: nv})
 			sh.log = append(sh.log, Event{Type: EventPut, Key: key, Value: nv, Rev: rev})
 			wrote = true
 		case ActDelete:
 			if exists {
 				rev = e.gate.begin()
-				sh.install(key, version{rev: rev, tomb: true}, e.hist)
+				e.install(sh, key, version{rev: rev, tomb: true})
 				sh.log = append(sh.log, Event{Type: EventDelete, Key: key, Rev: rev})
 				wrote = true
 			}
@@ -427,7 +487,7 @@ func (e *Engine) Commit(ops []Op) (uint64, error) {
 		sh := e.shardFor(op.Key)
 		switch op.Kind {
 		case OpPut:
-			sh.install(op.Key, version{rev: rev, val: op.Value}, e.hist)
+			e.install(sh, op.Key, version{rev: rev, val: op.Value})
 			sh.log = append(sh.log, Event{Type: EventPut, Key: op.Key, Value: op.Value, Rev: rev})
 		case OpDelete:
 			var exists bool
@@ -435,7 +495,7 @@ func (e *Engine) Commit(ops []Op) (uint64, error) {
 				_, _, exists = h.latest()
 			}
 			if exists {
-				sh.install(op.Key, version{rev: rev, tomb: true}, e.hist)
+				e.install(sh, op.Key, version{rev: rev, tomb: true})
 				sh.log = append(sh.log, Event{Type: EventDelete, Key: op.Key, Rev: rev})
 			}
 		}
@@ -468,6 +528,16 @@ func (e *Engine) Snapshot() uint64 {
 		return e.extFloor.Load()
 	}
 	target := e.gate.maxDone.Load()
+	if in := e.instr.Load(); in != nil {
+		// Floor lag: how far visibility trails the newest retired write
+		// at the moment a snapshot is requested. The floor may already
+		// have passed the target snapshot taken above; clamp at zero.
+		lag := float64(0)
+		if floor := e.gate.floorNow(); target > floor {
+			lag = float64(target - floor)
+		}
+		in.reg.SetGauge("store_floor_lag", lag, in.name)
+	}
 	e.gate.waitFloor(target)
 	return e.gate.floorNow()
 }
@@ -555,9 +625,11 @@ func (e *Engine) Compact(rev uint64) {
 				continue
 			}
 			if base == len(h.versions)-1 && h.versions[base].tomb {
+				e.countDrops(len(h.versions))
 				delete(sh.keys, k)
 				continue
 			}
+			e.countDrops(base)
 			h.versions = append([]version(nil), h.versions[base:]...)
 		}
 		sh.mu.Unlock()
@@ -566,6 +638,61 @@ func (e *Engine) Compact(rev uint64) {
 
 // CompactedRev reports the current compaction floor.
 func (e *Engine) CompactedRev() uint64 { return e.compacted.Load() }
+
+// ResumeFloor is the lowest revision WatchFrom can resume from with a
+// complete backfill: the highest revision dropped from version history
+// by compaction, per-key chain trimming, or snapshot import.
+func (e *Engine) ResumeFloor() uint64 {
+	if t := e.truncated.Load(); t > e.compacted.Load() {
+		return t
+	}
+	return e.compacted.Load()
+}
+
+// HistoryEvents reconstructs, from the bounded version history, the
+// events committed in (fromRev, toRev] for keys under prefix, sorted by
+// revision. It fails with ErrCompacted when fromRev predates the resume
+// floor — part of the window may already have been dropped — in which
+// case the consumer must fall back to a snapshot re-list.
+func (e *Engine) HistoryEvents(prefix string, fromRev, toRev uint64) ([]Event, error) {
+	check := func() error {
+		if f := e.ResumeFloor(); fromRev < f {
+			return fmt.Errorf("%w: resume from %d predates history floor %d", ErrCompacted, fromRev, f)
+		}
+		return nil
+	}
+	if err := check(); err != nil {
+		return nil, err
+	}
+	var out []Event
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for k, h := range sh.keys {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			for _, v := range h.versions {
+				if v.rev <= fromRev || v.rev > toRev {
+					continue
+				}
+				if v.tomb {
+					out = append(out, Event{Type: EventDelete, Key: k, Rev: v.rev})
+				} else {
+					out = append(out, Event{Type: EventPut, Key: k, Value: v.val, Rev: v.rev})
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	// A trim racing the scan may have dropped versions inside the window
+	// after their shard was read; re-check so the backfill is known
+	// complete, or the caller knows it is not.
+	if err := check(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rev < out[j].Rev })
+	return out, nil
+}
 
 // Watch subscribes to changes of keys under prefix, delivered in strict
 // revision order. Events begin after the current delivered revision.
@@ -578,8 +705,55 @@ func (e *Engine) Watch(prefix string) (<-chan Event, func(), error) {
 	if e.closed.Load() {
 		return nil, nil, ErrClosed
 	}
+	// Sync the hub to the floor first so the "no replay of acknowledged
+	// writes" contract holds: the delivered cursor otherwise lags the
+	// floor until the asynchronous drain runs.
+	e.drainOnce()
 	ch, cancel := e.hub.Watch(prefix)
 	return ch, cancel, nil
+}
+
+// WatchFrom subscribes to changes of keys under prefix starting after
+// startRev: every event with revision > startRev is delivered exactly
+// once, in strict revision order — events committed before the call are
+// backfilled from version history, then the stream continues live. When
+// startRev predates the resume floor (compaction or chain trimming
+// dropped part of the window) it fails with ErrCompacted and the
+// consumer must re-list and watch from the present instead.
+func (e *Engine) WatchFrom(prefix string, startRev uint64) (<-chan Event, func(), error) {
+	if e.external {
+		return nil, nil, fmt.Errorf("%w: WatchFrom on ExternalRevs engine", ErrExternalRevs)
+	}
+	if e.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	// Sync the hub to the current floor first: its delivered cursor
+	// otherwise lags acknowledged writes (the drain is asynchronous), and
+	// the backfill/live boundary must sit at a known revision.
+	e.drainOnce()
+	ch, cancel, cursor := e.hub.WatchCursor(prefix)
+	if startRev == cursor {
+		return ch, cancel, nil
+	}
+	var backfill []Event
+	if startRev < cursor {
+		var err error
+		backfill, err = e.HistoryEvents(prefix, startRev, cursor)
+		if err != nil {
+			cancel()
+			return nil, nil, err
+		}
+	}
+	// The splice's floor filter suppresses live events at or below
+	// startRev when resuming from the future (startRev > cursor); in the
+	// backfill case live events are all > cursor already.
+	after := cursor
+	if startRev > cursor {
+		after = startRev
+	}
+	out, stopSplice := SpliceEvents(backfill, ch, after, e.stop)
+	var once sync.Once
+	return out, func() { once.Do(func() { stopSplice(); cancel() }) }, nil
 }
 
 // drainLoop merges per-shard apply logs into revision order and hands
@@ -638,7 +812,7 @@ func (e *Engine) ApplyAt(rev uint64, ops []Op) ([]Event, error) {
 		sh.mu.Lock()
 		switch op.Kind {
 		case OpPut:
-			sh.install(op.Key, version{rev: rev, val: op.Value}, e.hist)
+			e.install(sh, op.Key, version{rev: rev, val: op.Value})
 			events = append(events, Event{Type: EventPut, Key: op.Key, Value: op.Value, Rev: rev})
 		case OpDelete:
 			var exists bool
@@ -646,16 +820,27 @@ func (e *Engine) ApplyAt(rev uint64, ops []Op) ([]Event, error) {
 				_, _, exists = h.latest()
 			}
 			if exists {
-				sh.install(op.Key, version{rev: rev, tomb: true}, e.hist)
+				e.install(sh, op.Key, version{rev: rev, tomb: true})
 				events = append(events, Event{Type: EventDelete, Key: op.Key, Rev: rev})
 			}
 		}
 		sh.mu.Unlock()
 	}
-	if rev > e.extFloor.Load() {
-		e.extFloor.Store(rev)
-	}
+	raiseMax(&e.extFloor, rev)
 	return events, nil
+}
+
+// AdvanceFloor raises the applied floor to rev without mutating state.
+// The external apply loop calls it for entries that carry no writes
+// (reads, no-ops), so the floor tracks every applied index — consumers
+// comparing the floor against a delivery cursor (WatchFrom backfill)
+// would otherwise see a replica perpetually "behind" after a read.
+func (e *Engine) AdvanceFloor(rev uint64) error {
+	if !e.external {
+		return fmt.Errorf("%w: AdvanceFloor on internal-revision engine", ErrExternalRevs)
+	}
+	raiseMax(&e.extFloor, rev)
+	return nil
 }
 
 // Export returns every live key at its latest version, sorted by key —
@@ -683,7 +868,7 @@ func (e *Engine) Import(kvs []KV, floorAtLeast uint64) error {
 	for _, kv := range kvs {
 		sh := e.shardFor(kv.Key)
 		sh.mu.Lock()
-		sh.install(kv.Key, version{rev: kv.Rev, val: kv.Value}, e.hist)
+		e.install(sh, kv.Key, version{rev: kv.Rev, val: kv.Value})
 		sh.mu.Unlock()
 		if kv.Rev > floor {
 			floor = kv.Rev
@@ -692,6 +877,10 @@ func (e *Engine) Import(kvs []KV, floorAtLeast uint64) error {
 	if floor > e.extFloor.Load() {
 		e.extFloor.Store(floor)
 	}
+	// The image carries only each key's latest version: everything below
+	// the restored floor is unavailable for backfill, so resumers older
+	// than it must re-list.
+	raiseMax(&e.truncated, floor)
 	return nil
 }
 

@@ -1,6 +1,10 @@
 package store
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
 
 // Keyed is the event shape the Hub can dispatch: anything carrying a key
 // (for prefix filtering) and a revision (for ordering and dedup).
@@ -22,10 +26,13 @@ type Keyed interface {
 // publisher — in the etcd facade that property keeps client operations
 // live while a subscriber lags.
 type Hub[E Keyed] struct {
-	// mu guards the cursor and queue; held only for short enqueues.
+	// mu guards the cursor, queue and instrumentation; held only for
+	// short enqueues.
 	mu        sync.Mutex
 	delivered uint64 // highest accepted revision
 	queue     []E    // accepted, not yet dispatched (revision order)
+	mtr       *metrics.Registry
+	mtrName   string
 
 	// watchersMu guards the subscription list only; cancellation never
 	// needs mu, so a blocked delivery cannot deadlock a cancel.
@@ -44,7 +51,12 @@ type watcher[E Keyed] struct {
 	startRev uint64 // events at or below this are before the subscription
 	ch       chan E
 	done     chan struct{}
+	once     sync.Once // guards done: cancel and hub Close may race
 }
+
+// shutdown closes the watcher's done channel exactly once, however many
+// of cancel / hub Close race to do it.
+func (w *watcher[E]) shutdown() { w.once.Do(func() { close(w.done) }) }
 
 // NewHub returns an empty hub and starts its dispatcher.
 func NewHub[E Keyed]() *Hub[E] {
@@ -53,11 +65,36 @@ func NewHub[E Keyed]() *Hub[E] {
 	return h
 }
 
+// Instrument publishes the hub's queue depth as a gauge in reg under
+// the given name label.
+func (h *Hub[E]) Instrument(reg *metrics.Registry, name string) {
+	h.mu.Lock()
+	h.mtr, h.mtrName = reg, name
+	h.mu.Unlock()
+}
+
+// gaugeQueueDepth records the pending-dispatch queue length; callers
+// hold h.mu.
+func (h *Hub[E]) gaugeQueueDepth() {
+	if h.mtr != nil {
+		h.mtr.SetGauge("store_hub_queue_depth", float64(len(h.queue)), h.mtrName)
+	}
+}
+
 // Watch subscribes to events for keys under prefix. Delivery begins with
 // the first revision accepted after the call — a write acknowledged
 // before Watch returns is never replayed to the new watcher. Cancel is
 // idempotent.
 func (h *Hub[E]) Watch(prefix string) (<-chan E, func()) {
+	ch, cancel, _ := h.WatchCursor(prefix)
+	return ch, cancel
+}
+
+// WatchCursor is Watch plus the subscription's start cursor: events at
+// or below the returned revision will never be delivered on the
+// channel. WatchFrom implementations use the cursor as the exclusive
+// upper bound of their history backfill.
+func (h *Hub[E]) WatchCursor(prefix string) (<-chan E, func(), uint64) {
 	w := &watcher[E]{prefix: prefix, ch: make(chan E, 128), done: make(chan struct{})}
 	h.mu.Lock()
 	w.startRev = h.delivered
@@ -65,8 +102,8 @@ func (h *Hub[E]) Watch(prefix string) (<-chan E, func()) {
 	h.watchersMu.Lock()
 	if h.closed {
 		h.watchersMu.Unlock()
-		close(w.done)
-		return w.ch, func() {}
+		w.shutdown()
+		return w.ch, func() {}, w.startRev
 	}
 	h.watchers = append(h.watchers, w)
 	h.watchersMu.Unlock()
@@ -82,10 +119,54 @@ func (h *Hub[E]) Watch(prefix string) (<-chan E, func()) {
 				}
 			}
 			h.watchersMu.Unlock()
-			close(w.done)
+			w.shutdown()
 		})
 	}
-	return w.ch, cancel
+	return w.ch, cancel, w.startRev
+}
+
+// SpliceEvents returns a channel that yields backfill first, then pipes
+// live events with revision > after, stopping when the returned cancel
+// runs or stop closes. It is the delivery shim behind WatchFrom
+// implementations: backfilled history and the live stream appear as one
+// ordered subscription, and the floor filter keeps the splice point
+// duplicate-free.
+func SpliceEvents[E Keyed](backfill []E, live <-chan E, after uint64, stop <-chan struct{}) (<-chan E, func()) {
+	out := make(chan E, len(backfill)+16)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(done) }) }
+	go func() {
+		for _, ev := range backfill {
+			select {
+			case out <- ev:
+			case <-done:
+				return
+			case <-stop:
+				return
+			}
+		}
+		for {
+			select {
+			case ev := <-live:
+				if ev.EventRev() <= after {
+					continue
+				}
+				select {
+				case out <- ev:
+				case <-done:
+					return
+				case <-stop:
+					return
+				}
+			case <-done:
+				return
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return out, cancel
 }
 
 // Publish accepts events for revision rev, exactly once per revision:
@@ -114,6 +195,7 @@ func (h *Hub[E]) Sync(fill func(delivered uint64) (uint64, []E)) {
 	if len(events) > 0 {
 		h.queue = append(h.queue, events...)
 	}
+	h.gaugeQueueDepth()
 	h.mu.Unlock()
 	if len(events) > 0 {
 		select {
@@ -135,6 +217,7 @@ func (h *Hub[E]) dispatchLoop() {
 			h.mu.Lock()
 			batch := h.queue
 			h.queue = nil
+			h.gaugeQueueDepth()
 			h.mu.Unlock()
 			if len(batch) == 0 {
 				break
@@ -178,7 +261,7 @@ func (h *Hub[E]) Close() {
 	h.closed = true
 	h.watchersMu.Unlock()
 	for _, w := range ws {
-		close(w.done)
+		w.shutdown()
 	}
 	h.once.Do(func() { close(h.stop) })
 }

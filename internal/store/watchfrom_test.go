@@ -1,0 +1,188 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWatchFromBackfillsHistory: a watcher resuming from a past revision
+// receives every later event — the ones committed before the call
+// backfilled from version history, then the live stream — in strict
+// revision order with no duplicates.
+func TestWatchFromBackfillsHistory(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+
+	var revs []uint64
+	for i := 0; i < 6; i++ {
+		rev, err := e.Put(fmt.Sprintf("/jobs/j%d/status", i), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revs = append(revs, rev)
+	}
+	if _, _, err := e.Delete("/jobs/j0/status"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume after the third write: expect writes 4..6 and the delete
+	// from history, then live events.
+	ch, cancel, err := e.WatchFrom("/jobs/", revs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	last := revs[2]
+	for i := 0; i < 3; i++ {
+		ev := recvStoreEvent(t, ch)
+		if ev.Type != EventPut || ev.Rev != revs[3+i] {
+			t.Fatalf("backfill event %d = %+v, want PUT at rev %d", i, ev, revs[3+i])
+		}
+		if ev.Rev <= last {
+			t.Fatalf("revision order violated: %d after %d", ev.Rev, last)
+		}
+		last = ev.Rev
+	}
+	del := recvStoreEvent(t, ch)
+	if del.Type != EventDelete || del.Key != "/jobs/j0/status" || del.Rev <= last {
+		t.Fatalf("delete event = %+v", del)
+	}
+
+	// The stream continues live after the backfill.
+	liveRev, err := e.Put("/jobs/j9/status", "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := recvStoreEvent(t, ch)
+	if live.Rev != liveRev || live.Key != "/jobs/j9/status" {
+		t.Fatalf("live event = %+v, want rev %d", live, liveRev)
+	}
+}
+
+// TestWatchFromZeroFiltersPrefix: resuming from 0 on a fresh engine
+// replays only the watched prefix.
+func TestWatchFromZeroFiltersPrefix(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+	if _, err := e.Put("/a/k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Put("/b/k", 2); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := e.WatchFrom("/a/", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	ev := recvStoreEvent(t, ch)
+	if ev.Key != "/a/k" {
+		t.Fatalf("event key = %q, want /a/k", ev.Key)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestWatchFromCompactedFailsTyped: resuming from below the compaction
+// floor fails with ErrCompacted, the signal to fall back to a re-list.
+func TestWatchFromCompactedFailsTyped(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+	var mid uint64
+	for i := 0; i < 10; i++ {
+		rev, err := e.Put("/k", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 4 {
+			mid = rev
+		}
+	}
+	e.Compact(mid + 2)
+	if _, _, err := e.WatchFrom("/", mid); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("WatchFrom below compaction = %v, want ErrCompacted", err)
+	}
+	// At or above the floor resumes fine.
+	ch, cancel, err := e.WatchFrom("/", mid+2)
+	if err != nil {
+		t.Fatalf("WatchFrom at floor: %v", err)
+	}
+	cancel()
+	_ = ch
+}
+
+// TestWatchFromTrimmedChainFailsTyped: per-key history trimming (a hot
+// key overflowing HistoryLimit) also raises the resume floor — a resumer
+// whose window lost versions must not get a silently incomplete
+// backfill.
+func TestWatchFromTrimmedChainFailsTyped(t *testing.T) {
+	e := NewEngine(Config{HistoryLimit: 4})
+	defer e.Close()
+	first, err := e.Put("/hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if _, err := e.Put("/hot", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := e.WatchFrom("/", first); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("WatchFrom below trim floor = %v, want ErrCompacted", err)
+	}
+	if f := e.ResumeFloor(); f == 0 {
+		t.Fatal("trimming did not raise the resume floor")
+	}
+}
+
+// TestWatchFromNoGapNoDuplicate: a resumer straddling concurrent writes
+// sees exactly one event per revision — the backfill/live splice point
+// neither drops nor repeats.
+func TestWatchFromNoGapNoDuplicate(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+
+	const before, after = 20, 20
+	for i := 0; i < before; i++ {
+		if _, err := e.Put(fmt.Sprintf("/s/k%02d", i%5), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := e.Snapshot() / 2
+	ch, cancel, err := e.WatchFrom("/s/", cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	for i := 0; i < after; i++ {
+		if _, err := e.Put(fmt.Sprintf("/s/k%02d", i%5), 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	total := int(e.Snapshot() - cut)
+	seen := make(map[uint64]bool)
+	last := cut
+	for i := 0; i < total; i++ {
+		ev := recvStoreEvent(t, ch)
+		if ev.Rev <= last {
+			t.Fatalf("revision order violated: %d after %d", ev.Rev, last)
+		}
+		if seen[ev.Rev] {
+			t.Fatalf("duplicate revision %d", ev.Rev)
+		}
+		seen[ev.Rev] = true
+		last = ev.Rev
+	}
+	for r := cut + 1; r <= cut+uint64(total); r++ {
+		if !seen[r] {
+			t.Fatalf("revision %d never delivered", r)
+		}
+	}
+}

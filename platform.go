@@ -61,6 +61,14 @@ type Options struct {
 	// while a large gang waits at the head of the queue.
 	DisableBackfill bool
 
+	// ControlPlane selects how the core services observe state changes:
+	// "watch" (the default) drives the Guardian and LCM from
+	// revision-ordered etcd watches and the metadata change feed, with
+	// long-interval polls kept only as a liveness backstop; "poll"
+	// preserves the pre-refactor fixed-interval polling loops for A/B
+	// comparison (see BenchmarkControlPlane).
+	ControlPlane string
+
 	// MaxDeployAttempts bounds Guardian deployment retries (default 3).
 	MaxDeployAttempts int
 	// GuardianStepDelay is the modeled per-step Guardian provisioning
@@ -90,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GuardianStepDelay <= 0 {
 		o.GuardianStepDelay = 200 * time.Millisecond
+	}
+	if o.ControlPlane == "" {
+		o.ControlPlane = core.ControlPlaneWatch
 	}
 	return o
 }
@@ -135,12 +146,19 @@ func New(opts Options) (*Platform, error) {
 		p.closePartial()
 		return nil, fmt.Errorf("dlaas: unknown GPU type %q", opts.GPUType)
 	}
+	if opts.ControlPlane != core.ControlPlaneWatch && opts.ControlPlane != core.ControlPlanePoll {
+		p.closePartial()
+		return nil, fmt.Errorf("dlaas: unknown control plane %q", opts.ControlPlane)
+	}
 
+	p.metrics = metrics.NewRegistry()
 	p.nfs = nfs.NewServer(p.clk)
 	p.link = netsim.NewSharedLink(netsim.Ethernet1G, p.clk)
 	p.store = objectstore.New(p.clk, p.link)
 	p.mongo = mongo.NewSharded(p.clk, opts.MetadataShards)
+	p.mongo.Instrument(p.metrics)
 	p.etcd = etcd.NewSharded(opts.EtcdReplicas, p.clk, opts.MetadataShards)
+	p.etcd.Instrument(p.metrics)
 	p.bus = rpc.NewBus(p.clk)
 
 	nodes := make([]kube.NodeSpec, 0, opts.Nodes)
@@ -161,7 +179,6 @@ func New(opts Options) (*Platform, error) {
 	}, nodes...)
 	p.chaos = chaos.New(p.cluster)
 
-	p.metrics = metrics.NewRegistry()
 	p.deps = &core.Deps{
 		Clock:       p.clk,
 		Bus:         p.bus,
@@ -179,6 +196,7 @@ func New(opts Options) (*Platform, error) {
 	lcmSvc := lcm.New(p.deps)
 	lcmSvc.GuardianStepDelay = opts.GuardianStepDelay
 	lcmSvc.MaxDeployAttempts = opts.MaxDeployAttempts
+	lcmSvc.ControlPlane = opts.ControlPlane
 
 	var err error
 	p.apiDep, err = p.cluster.CreateDeployment("dlaas-api", opts.APIReplicas, kube.PodSpec{
@@ -208,17 +226,14 @@ func New(opts Options) (*Platform, error) {
 }
 
 // WaitReady blocks until every core service has at least one healthy
-// instance registered, or the (cluster-time) timeout passes.
+// instance registered, or the (cluster-time) timeout passes. It waits
+// on the bus's registration signal rather than polling: the services
+// being waited on announce their own readiness.
 func (p *Platform) WaitReady(timeout time.Duration) error {
-	deadline := p.clk.Now().Add(timeout)
-	for p.clk.Now().Before(deadline) {
-		if p.bus.HealthyInstances(core.APIService) >= 1 &&
-			p.bus.HealthyInstances(core.LCMService) >= 1 {
-			return nil
-		}
-		p.clk.Sleep(100 * time.Millisecond)
+	if !p.bus.WaitHealthy(timeout, 1, core.APIService, core.LCMService) {
+		return fmt.Errorf("%w after %v", ErrNotReady, timeout)
 	}
-	return fmt.Errorf("%w after %v", ErrNotReady, timeout)
+	return nil
 }
 
 // Close tears the platform down. It is safe to call once.
