@@ -12,8 +12,10 @@ package dlaas_test
 
 import (
 	"fmt"
+	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,6 +23,8 @@ import (
 
 	dlaas "repro"
 
+	"repro/internal/core/guardian"
+	"repro/internal/core/learner"
 	"repro/internal/etcd"
 	"repro/internal/experiments"
 	"repro/internal/gpu"
@@ -470,6 +474,94 @@ func BenchmarkControlPlane(b *testing.B) {
 			ranges := p.Etcd().RangeOps() - rangesBefore
 			b.ReportMetric(float64(ranges)/float64(b.N), "etcd-ranges/job")
 			b.ReportMetric(virtual.Seconds()/float64(b.N), "virtual-s/job")
+		})
+	}
+}
+
+// BenchmarkGracefulPreemption quantifies the eviction protocol's win:
+// training images lost per eviction, graceful mode (the default
+// checkpoint-before-preempt handshake) versus immediate mode (the
+// Options.ImmediateEviction escape hatch, i.e. the pre-protocol kill).
+// Each iteration trains a low-priority job with periodic checkpointing
+// effectively off, samples its progress, preempts it with a
+// high-priority job, and measures progress-at-eviction minus
+// resume-point once the victim recovers. Graceful mode must come in
+// near zero; immediate mode forfeits everything since the last periodic
+// checkpoint (here: all of it).
+func BenchmarkGracefulPreemption(b *testing.B) {
+	resumedRe := regexp.MustCompile(`resumed from checkpoint at (\d+)/`)
+	for _, mode := range []struct {
+		name      string
+		immediate bool
+	}{
+		{"graceful", false},
+		{"immediate", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := dlaas.New(dlaas.Options{Nodes: 1, GPUsPerNode: 1, EtcdReplicas: 1, ImmediateEviction: mode.immediate})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			clk := p.Clock()
+			var lostSum, virtual float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submit := func(tenant string, images int64, priority int) (*dlaas.Client, string) {
+					creds := dlaas.Credentials{AccessKey: tenant, SecretKey: tenant + "-s"}
+					data, err := p.CreateDataset("data-"+tenant, "train.rec", 1<<30, creds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					results, err := p.CreateResultsBucket("results-"+tenant, creds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					client := p.Client(tenant)
+					id, err := client.Submit(&dlaas.Manifest{
+						Name: "evict-bench", Framework: "tensorflow", Model: "resnet50",
+						Learners: 1, GPUsPerLearner: 1, BatchPerGPU: 32, Epochs: 1,
+						DatasetImages: images, TrainingData: data, Results: results,
+						CheckpointInterval: time.Hour, Priority: priority,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return client, id
+				}
+				start := clk.Now()
+				victim, vid := submit(fmt.Sprintf("ev-%s-v%d", mode.name, i), 16000, 1)
+				if _, err := victim.WaitForState(vid, dlaas.StateProcessing, time.Hour); err != nil {
+					b.Fatal(err)
+				}
+				clk.Sleep(45 * time.Second) // accumulate un-checkpointed work
+				// Progress at (just before) eviction, off the live volume.
+				var p0 int64
+				if vol, err := p.Cluster().NFS().Volume(guardian.VolumeName(vid)); err == nil {
+					if raw, err := vol.Read(learner.ProgressPath(0)); err == nil {
+						p0, _ = strconv.ParseInt(string(raw), 10, 64)
+					}
+				}
+				hi, hid := submit(fmt.Sprintf("ev-%s-h%d", mode.name, i), 2000, 100)
+				if _, err := hi.WaitForState(hid, dlaas.StateCompleted, 3*time.Hour); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := victim.WaitForState(vid, dlaas.StateCompleted, 12*time.Hour); err != nil {
+					b.Fatal(err)
+				}
+				virtual += clk.Since(start).Seconds()
+				resumed := int64(0)
+				if logText, err := victim.Logs(vid, 0); err == nil {
+					if m := resumedRe.FindAllStringSubmatch(logText, -1); len(m) > 0 {
+						resumed, _ = strconv.ParseInt(m[len(m)-1][1], 10, 64)
+					}
+				}
+				if lost := float64(p0 - resumed); lost > 0 {
+					lostSum += lost
+				}
+			}
+			b.ReportMetric(lostSum/float64(b.N), "lost-images/evict")
+			b.ReportMetric(virtual/float64(b.N), "victim-virtual-s")
 		})
 	}
 }

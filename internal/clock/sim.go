@@ -116,19 +116,21 @@ func (s *Sim) After(d time.Duration) <-chan time.Time {
 // AfterFunc implements Clock.
 func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
 	t := &simTimer{s: s, ch: make(chan time.Time, 1)}
-	t.ev = s.schedule(d, func(now time.Time) { go f() }, t)
+	t.fire = func(now time.Time) { go f() }
+	t.ev = s.schedule(d, t.fire, t)
 	return t
 }
 
 // NewTimer implements Clock.
 func (s *Sim) NewTimer(d time.Duration) Timer {
 	t := &simTimer{s: s, ch: make(chan time.Time, 1)}
-	t.ev = s.schedule(d, func(now time.Time) {
+	t.fire = func(now time.Time) {
 		select {
 		case t.ch <- now:
 		default:
 		}
-	}, t)
+	}
+	t.ev = s.schedule(d, t.fire, t)
 	return t
 }
 
@@ -280,10 +282,11 @@ func (s *Sim) idleAdvance() {
 }
 
 type simTimer struct {
-	s  *Sim
-	mu sync.Mutex
-	ev *event
-	ch chan time.Time
+	s    *Sim
+	mu   sync.Mutex
+	ev   *event
+	ch   chan time.Time
+	fire func(time.Time) // the timer's behavior; Reset re-arms it intact
 }
 
 func (t *simTimer) C() <-chan time.Time { return t.ch }
@@ -294,16 +297,15 @@ func (t *simTimer) Stop() bool {
 	return t.s.cancel(t.ev)
 }
 
+// Reset re-arms the timer with its original behavior — like
+// time.Timer.Reset, an AfterFunc timer runs its function again, not a
+// bare channel send (a Reset that dropped the function would, e.g., let
+// a kept-alive lease never expire).
 func (t *simTimer) Reset(d time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.s.cancel(t.ev)
-	t.ev = t.s.schedule(d, func(now time.Time) {
-		select {
-		case t.ch <- now:
-		default:
-		}
-	}, nil)
+	t.ev = t.s.schedule(d, t.fire, nil)
 }
 
 type simTicker struct {

@@ -338,7 +338,7 @@ func (s *Service) metrics(r MetricsRequest) (MetricsResponse, error) {
 			return MetricsResponse{}, err
 		}
 		creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
-		key := fmt.Sprintf("metrics/%s/learner-%d.jsonl", r.JobID, r.Learner)
+		key := learner.ResultMetricsKey(r.JobID, r.Learner)
 		obj, err := s.deps.ObjectStore.Get(m.Results.Bucket, key, creds)
 		if err != nil {
 			return MetricsResponse{}, nil // no metrics yet
@@ -403,7 +403,7 @@ func (s *Service) logs(r LogsRequest) (LogsResponse, error) {
 		return LogsResponse{}, err
 	}
 	creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
-	key := fmt.Sprintf("logs/%s/learner-%d.log", r.JobID, r.Learner)
+	key := learner.ResultLogKey(r.JobID, r.Learner)
 	obj, err := s.deps.ObjectStore.Get(m.Results.Bucket, key, creds)
 	if err != nil {
 		return LogsResponse{Text: ""}, nil // no logs yet

@@ -105,6 +105,12 @@ type journal struct {
 	// (keyed by ordinal), so the resumed monitor starts from state
 	// instead of an etcd re-list.
 	Statuses map[int]types.StatusUpdate `json:"statuses,omitempty"`
+	// Acks lists learners whose eviction acknowledgment has been folded
+	// as of MonitorRev, so a Guardian restarted mid-grace can complete
+	// the eviction without waiting out the deadline. The journal dies
+	// with the deployment (handlePreemption deletes it), so acks never
+	// leak into a later eviction.
+	Acks map[int]bool `json:"acks,omitempty"`
 }
 
 // ContainerSpec builds the Guardian container. Guardians are small Go
@@ -197,6 +203,7 @@ func deploy(ctx *kube.ContainerCtx, p Params) (int, bool) {
 			return 1, false
 		}
 	}
+	restoreShippedLogs(d, p.JobID, p.Manifest)
 	if !step("volume") {
 		return 137, false
 	}
@@ -454,26 +461,94 @@ func handleHalt(p Params) int {
 	return 0
 }
 
-// handlePreemption maps a gang preemption to the Guardian's rollback:
-// cancel the gang, tear down the partial deployment, and redeploy from
-// scratch on a fresh Guardian attempt. The attempt counter is reset —
-// preemption is the scheduler's doing, not a deployment failure, so it
-// must not burn the job's retry budget.
+// handlePreemption maps a completed gang eviction to the Guardian's
+// rollback: cancel the gang, tear down the partial deployment, and
+// redeploy from scratch on a fresh Guardian attempt — resuming from the
+// grace-period checkpoint when the eviction was graceful. The attempt
+// counter is reset: eviction is the scheduler's doing, not a deployment
+// failure, so it must not burn the job's retry budget.
 func handlePreemption(p Params) int {
 	d := p.Deps
-	_, _ = d.TransitionJob(p.JobID, types.StateDeploying, "preempted by higher-priority job; redeploying")
+	reason := "preempted by higher-priority job; redeploying"
+	if g := d.Kube.GangByName(GangName(p.JobID)); g != nil {
+		if intent, ok := g.EvictionIntent(); ok && intent.Reason == kube.EvictReasonDrain {
+			reason = "evicted by node drain; redeploying"
+		}
+	}
+	_, _ = d.TransitionJob(p.JobID, types.StateDeploying, reason)
 	shipLogs(d, p.JobID, p.Manifest)
 	rollback(d, p.JobID)
 	_ = d.Etcd.Delete(types.GuardianJournalKey(p.JobID))
+	// Clear the eviction handshake so the redeployed job starts with a
+	// clean ack slate (the NFS side vanishes with the volume).
+	_ = d.Etcd.Delete(types.EvictionIntentKey(p.JobID))
+	for l := 0; l < p.Manifest.Learners; l++ {
+		_ = d.Etcd.Delete(types.LearnerEvictAckKey(p.JobID, l))
+	}
 	_ = d.ResetDeployAttempts(p.JobID)
 	return 1
 }
 
+// relayEviction mirrors the scheduler's eviction intent onto the
+// control plane: an envelope under the job's etcd prefix (so the intent
+// rides the same revision-ordered watch feeds as every other event) and
+// the learners' NFS evict-request file (their checkpoint trigger).
+func relayEviction(p Params, intent kube.EvictionIntent) {
+	d := p.Deps
+	env := events.EvictionIntent(p.JobID, intent.Reason, intent.Deadline, d.Clock.Now())
+	raw, err := env.Encode()
+	if err != nil {
+		return
+	}
+	_, _ = d.Etcd.Put(types.EvictionIntentKey(p.JobID), string(raw))
+	if vol, err := d.NFS.Volume(VolumeName(p.JobID)); err == nil {
+		vol.Write(learner.EvictRequestPath, raw)
+	}
+	if d.Metrics != nil {
+		d.Metrics.Inc("guardian_eviction_intents", intent.Reason)
+	}
+}
+
+// checkGang folds the gang scheduler's state into the monitor loop:
+// a completed eviction (GangPreempted) becomes rollback + redeploy; a
+// posted intent (GangEvicting) is relayed to the learners once, and
+// once every learner has acked its on-demand checkpoint the Guardian
+// completes the eviction early instead of waiting out the deadline.
+// done=true means the monitor must exit with the returned code.
+func checkGang(p Params, relayed *bool, acks map[int]bool) (code int, done bool) {
+	d := p.Deps
+	g := d.Kube.GangByName(GangName(p.JobID))
+	if g == nil {
+		return 0, false
+	}
+	switch g.State() {
+	case kube.GangPreempted:
+		return handlePreemption(p), true
+	case kube.GangEvicting:
+		if !*relayed {
+			*relayed = true
+			if intent, ok := g.EvictionIntent(); ok {
+				relayEviction(p, intent)
+			}
+		}
+		if p.Manifest.Learners > 0 && len(acks) >= p.Manifest.Learners {
+			// Completion is synchronous: the gang is preempted when
+			// AckEviction returns, so redeploy right away.
+			d.Kube.AckEviction(GangName(p.JobID))
+			if g.State() == kube.GangPreempted {
+				return handlePreemption(p), true
+			}
+		}
+	}
+	return 0, false
+}
+
 // monitorByPoll is the pre-refactor monitor: a full etcd Range of the
 // learner statuses every 500ms, kept behind ControlPlane "poll" for A/B
-// comparison.
+// comparison. Eviction intents and acks ride the same sweep.
 func monitorByPoll(ctx *kube.ContainerCtx, p Params) int {
 	d := p.Deps
+	evictRelayed := false
 	for {
 		select {
 		case <-ctx.Killed():
@@ -485,11 +560,11 @@ func monitorByPoll(ctx *kube.ContainerCtx, p Params) int {
 		if err == nil && rec.State == types.StateHalted {
 			return handleHalt(p)
 		}
-		if g := d.Kube.GangByName(GangName(p.JobID)); g != nil && g.State() == kube.GangPreempted {
-			return handlePreemption(p)
-		}
 
-		statuses, err := readStatuses(d, p.JobID)
+		statuses, acks, err := readStatuses(d, p.JobID)
+		if code, done := checkGang(p, &evictRelayed, acks); done {
+			return code
+		}
 		if err == nil {
 			// A fresh announced value per sweep keeps the pre-refactor
 			// timestamped same-state refresh.
@@ -512,8 +587,10 @@ func monitorByPoll(ctx *kube.ContainerCtx, p Params) int {
 // resumes its watch exactly where the predecessor stopped — etcd is
 // re-listed only when the saved revision has been compacted past, and
 // once per watchRelist as a liveness backstop. Halts arrive on the
-// metadata change feed; gang preemption and the results-stored marker,
-// which have no event stream, ride the 1s tick (neither touches etcd).
+// job's own metadata change feed; eviction intents on the gang's notice
+// channel with their acks on the learner watch; gang preemption and the
+// results-stored marker, which have no event stream, ride the 1s tick
+// (none of these touch etcd).
 func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 	d := p.Deps
 	prefix := types.LearnerStatusPrefix(p.JobID)
@@ -538,6 +615,18 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 		}
 	}
 
+	// Eviction handshake state. Acks advance the cursor and ride the
+	// journal like statuses do, so a Guardian restarted mid-grace picks
+	// the handshake up exactly; the scheduler's deadline force-evicts if
+	// a restart eats the whole grace window anyway.
+	acks := make(map[int]bool)
+	for l, v := range j.Acks {
+		if v {
+			acks[l] = true
+		}
+	}
+	evictRelayed := false
+
 	fold := func(l int, u types.StatusUpdate, rev uint64) {
 		if rev > statusRev[l] {
 			statusRev[l] = rev
@@ -552,11 +641,20 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 			return
 		}
 		env, ok := events.Decode([]byte(ev.Value))
-		if !ok || env.Kind != events.KindLearnerStatus {
+		if !ok {
 			return
 		}
-		fold(env.Learner, env.StatusUpdate(), ev.Rev)
-		count("guardian_monitor_events")
+		switch env.Kind {
+		case events.KindLearnerStatus:
+			fold(env.Learner, env.StatusUpdate(), ev.Rev)
+			count("guardian_monitor_events")
+		case events.KindEvictionAck:
+			acks[env.Learner] = true
+			if ev.Rev > lastRev {
+				lastRev = ev.Rev
+			}
+			count("guardian_monitor_acks")
+		}
 	}
 
 	savedRev := lastRev
@@ -568,6 +666,10 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 		j.Statuses = make(map[int]types.StatusUpdate, len(statuses))
 		for l, u := range statuses {
 			j.Statuses[l] = u
+		}
+		j.Acks = make(map[int]bool, len(acks))
+		for l, v := range acks {
+			j.Acks[l] = v
 		}
 		saveJournal(d, p.JobID, j)
 		savedRev = lastRev
@@ -596,8 +698,15 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 		}
 		count("guardian_monitor_relists")
 		for _, kv := range kvs {
-			if env, ok := events.Decode([]byte(kv.Value)); ok && env.Kind == events.KindLearnerStatus {
+			env, ok := events.Decode([]byte(kv.Value))
+			if !ok {
+				continue
+			}
+			switch env.Kind {
+			case events.KindLearnerStatus:
 				fold(env.Learner, env.StatusUpdate(), kv.Rev)
+			case events.KindEvictionAck:
+				acks[env.Learner] = true
 			}
 		}
 		return true
@@ -627,12 +736,23 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 	// incarnation.
 	saveCursor()
 
-	// Change feed for halt detection (event-driven; the tick re-checks
-	// via GetJob as a shield against a lost feed event).
+	// Per-job change feed for halt detection (event-driven; the tick
+	// re-checks via GetJob as a shield against a lost feed event). The
+	// single-document filter keeps this Guardian from waking on every
+	// other job's commits at high job counts.
 	var jobFeed <-chan mongo.ChangeEvent
-	if feed, cancelFeed, err := d.Jobs().Watch(); err == nil {
+	if feed, cancelFeed, err := d.Jobs().WatchKey(p.JobID); err == nil {
 		jobFeed = feed
 		defer cancelFeed()
+	}
+
+	// The scheduler closes the gang's notice channel when it posts an
+	// eviction intent, so the relay starts on the event rather than the
+	// next tick. A closed channel is always ready — nil it after the
+	// first wakeup.
+	var evictNotice <-chan struct{}
+	if g := d.Kube.GangByName(GangName(p.JobID)); g != nil {
+		evictNotice = g.EvictionNotice()
 	}
 
 	lastList := d.Clock.Now()
@@ -648,8 +768,8 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 		if code, done := settle(p, view, &announced); done {
 			return code
 		}
-		if g := d.Kube.GangByName(GangName(p.JobID)); g != nil && g.State() == kube.GangPreempted {
-			return handlePreemption(p)
+		if code, done := checkGang(p, &evictRelayed, acks); done {
+			return code
 		}
 
 		tick := d.Clock.NewTimer(watchTick)
@@ -657,6 +777,9 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 		case <-ctx.Killed():
 			tick.Stop()
 			return 137
+		case <-evictNotice:
+			tick.Stop()
+			evictNotice = nil // fires once; checkGang relays on this pass
 		case ev := <-evCh:
 			tick.Stop()
 			foldEvent(ev)
@@ -699,20 +822,29 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 	}
 }
 
-// readStatuses loads the latest per-learner status updates from etcd
-// (events.Envelope values; legacy raw StatusUpdate JSON still decodes).
-func readStatuses(d *core.Deps, jobID string) ([]types.StatusUpdate, error) {
+// readStatuses loads the latest per-learner status updates and eviction
+// acks from etcd (events.Envelope values; legacy raw StatusUpdate JSON
+// still decodes).
+func readStatuses(d *core.Deps, jobID string) ([]types.StatusUpdate, map[int]bool, error) {
 	kvs, err := d.Etcd.Range(types.LearnerStatusPrefix(jobID))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]types.StatusUpdate, 0, len(kvs))
+	acks := make(map[int]bool)
 	for _, kv := range kvs {
-		if env, ok := events.Decode([]byte(kv.Value)); ok && env.Kind == events.KindLearnerStatus {
+		env, ok := events.Decode([]byte(kv.Value))
+		if !ok {
+			continue
+		}
+		switch env.Kind {
+		case events.KindLearnerStatus:
 			out = append(out, env.StatusUpdate())
+		case events.KindEvictionAck:
+			acks[env.Learner] = true
 		}
 	}
-	return out, nil
+	return out, acks, nil
 }
 
 // resultsStored checks the helper's stored marker on the shared volume.
@@ -723,6 +855,32 @@ func resultsStored(d *core.Deps, jobID string) bool {
 	}
 	raw, err := vol.Read(helper.ResultsStoredMarker)
 	return err == nil && string(raw) == "ok"
+}
+
+// restoreShippedLogs re-seeds a freshly provisioned volume with the
+// logs and metrics already shipped to the results bucket, so a redeploy
+// (preemption, drain, crash rollback) appends to the job's history
+// instead of amputating it — later shipments replace the bucket objects
+// with the full file, and "reliable streaming of logs from the job,
+// irrespective of the stage it is in" holds across incarnations. The
+// rollback to the last checkpoint stays visible in the metric series,
+// as the paper observes for restarted jobs.
+func restoreShippedLogs(d *core.Deps, jobID string, m *manifest.Manifest) {
+	vol, err := d.NFS.Volume(VolumeName(jobID))
+	if err != nil {
+		return
+	}
+	creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
+	for l := 0; l < m.Learners; l++ {
+		key := learner.ResultLogKey(jobID, l)
+		if obj, err := d.ObjectStore.Get(m.Results.Bucket, key, creds); err == nil && len(obj.Data) > 0 {
+			vol.Write(learner.LogPath(l), obj.Data)
+		}
+		key = learner.ResultMetricsKey(jobID, l)
+		if obj, err := d.ObjectStore.Get(m.Results.Bucket, key, creds); err == nil && len(obj.Data) > 0 {
+			vol.Write(learner.MetricsPath(l), obj.Data)
+		}
+	}
 }
 
 // shipLogs persists every learner's logs and metrics from the shared
@@ -738,11 +896,11 @@ func shipLogs(d *core.Deps, jobID string, m *manifest.Manifest) {
 	creds := objectstore.Credentials{AccessKey: m.Results.AccessKey, SecretKey: m.Results.SecretKey}
 	for l := 0; l < m.Learners; l++ {
 		if raw, err := vol.Read(learner.LogPath(l)); err == nil {
-			key := fmt.Sprintf("logs/%s/learner-%d.log", jobID, l)
+			key := learner.ResultLogKey(jobID, l)
 			_ = d.ObjectStore.Put(m.Results.Bucket, key, raw, creds)
 		}
 		if raw, err := vol.Read(learner.MetricsPath(l)); err == nil {
-			key := fmt.Sprintf("metrics/%s/learner-%d.jsonl", jobID, l)
+			key := learner.ResultMetricsKey(jobID, l)
 			_ = d.ObjectStore.Put(m.Results.Bucket, key, raw, creds)
 		}
 	}

@@ -122,6 +122,9 @@ func runLoadData(ctx *kube.ContainerCtx, p Params) int {
 type controllerJournal struct {
 	// Last published status per learner ordinal.
 	Last map[string]types.LearnerStatus `json:"last"`
+	// Acked lists learner ordinals whose eviction acknowledgment has
+	// been mirrored into etcd, so restarts don't republish.
+	Acked map[string]bool `json:"acked,omitempty"`
 }
 
 // runController watches learner status and exit files on NFS and mirrors
@@ -141,6 +144,17 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 	if raw, err := vol.Read(journalPath); err == nil {
 		_ = json.Unmarshal(raw, &journal) // corrupt journal = start fresh
 	}
+	if journal.Last == nil {
+		journal.Last = map[string]types.LearnerStatus{}
+	}
+	if journal.Acked == nil {
+		journal.Acked = map[string]bool{}
+	}
+	saveJournal := func() {
+		if jraw, err := json.Marshal(journal); err == nil {
+			vol.Write(journalPath, jraw)
+		}
+	}
 
 	// A failed publish is retried on the next poll, but it must not be
 	// silent: a wedged etcd would otherwise look like learners that never
@@ -159,12 +173,29 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 	}
 
 	for {
+		// Acks only exist after the Guardian posts the evict-request, so
+		// one existence check keeps the per-learner ack reads off the
+		// steady-state polling path entirely.
+		evicting := vol.Exists(learner.EvictRequestPath)
 		for l := 0; l < p.Manifest.Learners; l++ {
+			key := fmt.Sprintf("%d", l)
+			// Mirror a pending eviction ack before the regular status:
+			// the Guardian's early-complete (and with it the whole grace
+			// protocol's win) hangs on this arriving quickly.
+			if evicting && !journal.Acked[key] {
+				if raw, err := vol.Read(learner.EvictAckPath(l)); err == nil {
+					if _, err := d.Etcd.Put(types.LearnerEvictAckKey(p.JobID, l), string(raw)); err != nil {
+						noteDrop(l, "etcd-put-ack", err)
+					} else {
+						journal.Acked[key] = true
+						saveJournal()
+					}
+				}
+			}
 			status := currentLearnerStatus(vol, l)
 			if status == "" {
 				continue
 			}
-			key := fmt.Sprintf("%d", l)
 			if journal.Last[key] == status {
 				continue
 			}
@@ -187,9 +218,7 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 			}
 			dropLogged[l] = false
 			journal.Last[key] = status
-			if jraw, err := json.Marshal(journal); err == nil {
-				vol.Write(journalPath, jraw)
-			}
+			saveJournal()
 		}
 		if !ctx.Sleep(controllerPoll) {
 			return 0
@@ -245,7 +274,7 @@ func runLogCollector(ctx *kube.ContainerCtx, p Params) int {
 			got := uploaded[l]
 			if size := vol.Size(learner.LogPath(l)); size != got.logs {
 				if raw, err := vol.Read(learner.LogPath(l)); err == nil {
-					key := fmt.Sprintf("logs/%s/learner-%d.log", p.JobID, l)
+					key := learner.ResultLogKey(p.JobID, l)
 					if err := d.ObjectStore.Put(m.Results.Bucket, key, raw, creds); err == nil {
 						got.logs = size
 					}
@@ -253,7 +282,7 @@ func runLogCollector(ctx *kube.ContainerCtx, p Params) int {
 			}
 			if size := vol.Size(learner.MetricsPath(l)); size != got.metrics {
 				if raw, err := vol.Read(learner.MetricsPath(l)); err == nil {
-					key := fmt.Sprintf("metrics/%s/learner-%d.jsonl", p.JobID, l)
+					key := learner.ResultMetricsKey(p.JobID, l)
 					if err := d.ObjectStore.Put(m.Results.Bucket, key, raw, creds); err == nil {
 						got.metrics = size
 					}
@@ -316,11 +345,11 @@ func runStoreResults(ctx *kube.ContainerCtx, p Params) int {
 	// streaming of logs ... irrespective of the stage it is in").
 	for l := 0; l < m.Learners; l++ {
 		if raw, err := vol.Read(learner.LogPath(l)); err == nil {
-			logKey := fmt.Sprintf("logs/%s/learner-%d.log", p.JobID, l)
+			logKey := learner.ResultLogKey(p.JobID, l)
 			_ = d.ObjectStore.Put(m.Results.Bucket, logKey, raw, creds)
 		}
 		if raw, err := vol.Read(learner.MetricsPath(l)); err == nil {
-			metKey := fmt.Sprintf("metrics/%s/learner-%d.jsonl", p.JobID, l)
+			metKey := learner.ResultMetricsKey(p.JobID, l)
 			_ = d.ObjectStore.Put(m.Results.Bucket, metKey, raw, creds)
 		}
 	}

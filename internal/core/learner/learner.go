@@ -71,9 +71,35 @@ func ProgressPath(l int) string { return fmt.Sprintf("learner-%d/progress", l) }
 // rollback to the last checkpoint is visible in the series.
 func MetricsPath(l int) string { return fmt.Sprintf("learner-%d/metrics.jsonl", l) }
 
+// EvictRequestPath is the NFS file the Guardian writes (an
+// events.KindEvictionIntent envelope) to relay the scheduler's eviction
+// intent to the job's learners: the checkpoint-now trigger of the
+// graceful-eviction protocol.
+const EvictRequestPath = "evict/request"
+
+// EvictAckPath is the NFS file where learner l acknowledges an eviction
+// intent (an events.KindEvictionAck envelope) once its on-demand
+// checkpoint is durable; the helper controller mirrors it into etcd for
+// the Guardian.
+func EvictAckPath(l int) string { return fmt.Sprintf("learner-%d/evict-ack", l) }
+
 // checkpointPrefix is the results-bucket key prefix for checkpoints.
 func checkpointPrefix(jobID string) string {
 	return fmt.Sprintf("checkpoints/%s/ckpt-", jobID)
+}
+
+// ResultLogKey is the results-bucket key where learner l's training log
+// is shipped. Every shipper (log-collector, store-results, Guardian)
+// and reader (API logs endpoint, redeploy restore) addresses logs
+// through this one helper, so the layout cannot drift between them.
+func ResultLogKey(jobID string, l int) string {
+	return fmt.Sprintf("logs/%s/learner-%d.log", jobID, l)
+}
+
+// ResultMetricsKey is the results-bucket key for learner l's training
+// progress graph.
+func ResultMetricsKey(jobID string, l int) string {
+	return fmt.Sprintf("metrics/%s/learner-%d.jsonl", jobID, l)
 }
 
 // ContainerSpec builds the kube container for a learner. Heavy framework
@@ -231,12 +257,36 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 		ckptImages = steps * stepImages
 	}
 
+	// Eviction-grace handler, polled at every training chunk: when the
+	// Guardian relays an eviction intent onto the shared volume, stall
+	// to serialize the model off the device, upload an on-demand
+	// checkpoint, and ack — so the impending kill loses at most one
+	// chunk of work instead of a full checkpoint interval. Acked once
+	// per incarnation: the intent ends in this pod's eviction.
+	graceAcked := false
+	graceCheckpoint := func(imagesDone int64) bool {
+		if graceAcked || !vol.Exists(EvictRequestPath) {
+			return true
+		}
+		graceAcked = true
+		if !ctx.Sleep(cfg.CheckpointStallTime()) {
+			return false
+		}
+		writeCheckpoint(d, m, resCreds, cfg, p.JobID, imagesDone)
+		env := events.EvictionAck(p.JobID, p.Ordinal, imagesDone, d.Clock.Now())
+		if raw, err := env.Encode(); err == nil {
+			vol.Write(EvictAckPath(p.Ordinal), raw)
+		}
+		logf("on-demand checkpoint at %d/%d images (eviction grace)", imagesDone, totalImages)
+		return true
+	}
+
 	for imagesDone < totalImages {
 		target := imagesDone + ckptImages
 		if target > totalImages {
 			target = totalImages
 		}
-		if !trainSpan(ctx, d, vol, p, cfg, stepTime, stepImages, &imagesDone, target, logf) {
+		if !trainSpan(ctx, d, vol, p, cfg, stepTime, stepImages, &imagesDone, target, graceCheckpoint, logf) {
 			// Killed mid-training: this incarnation ends as a crash;
 			// the recovered learner resumes from the last checkpoint.
 			return exitKilled()
@@ -259,11 +309,11 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 }
 
 // trainSpan advances training to target images, sleeping in chunks so the
-// process observes kills and publishes progress. It reports false when
-// killed.
+// process observes kills, publishes progress, and answers eviction
+// intents (onChunk) promptly. It reports false when killed.
 func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
 	cfg trainsim.Config, stepTime time.Duration, stepImages int64,
-	imagesDone *int64, target int64, logf func(string, ...any)) bool {
+	imagesDone *int64, target int64, onChunk func(int64) bool, logf func(string, ...any)) bool {
 
 	remaining := target - *imagesDone
 	steps := (remaining + stepImages - 1) / stepImages
@@ -294,6 +344,9 @@ func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
 		}
 		if raw, err := json.Marshal(point); err == nil {
 			vol.Append(MetricsPath(p.Ordinal), append(raw, '\n'))
+		}
+		if !onChunk(*imagesDone) {
+			return false
 		}
 	}
 	logf("progress: %d images (%.1f img/s aggregate)", *imagesDone, cfg.Throughput())

@@ -123,6 +123,22 @@ func LearnerStatusPrefix(id string) string {
 	return fmt.Sprintf("/dlaas/jobs/%s/learners/", id)
 }
 
+// LearnerEvictAckKey is where the controller mirrors learner l's
+// eviction acknowledgment (an events.KindEvictionAck envelope). It
+// lives under LearnerStatusPrefix so the Guardian's one learner watch
+// carries acks and statuses alike.
+func LearnerEvictAckKey(id string, l int) string {
+	return fmt.Sprintf("/dlaas/jobs/%s/learners/%d/evict-ack", id, l)
+}
+
+// EvictionIntentKey is where the Guardian mirrors the scheduler's
+// eviction intent (an events.KindEvictionIntent envelope) so the intent
+// rides the same revision-ordered watch feeds as every other
+// control-plane event.
+func EvictionIntentKey(id string) string {
+	return fmt.Sprintf("/dlaas/jobs/%s/evict/intent", id)
+}
+
 // GuardianJournalKey is where the Guardian journals its deployment
 // progress so a restarted Guardian can roll back a partial deployment.
 func GuardianJournalKey(id string) string {

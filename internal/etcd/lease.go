@@ -19,10 +19,11 @@ type Lease struct {
 	id    string
 	ttl   time.Duration
 
-	mu      sync.Mutex
-	keys    map[string]bool
-	expired bool
-	timer   interface {
+	mu       sync.Mutex
+	keys     map[string]bool
+	expired  bool
+	deadline time.Time
+	timer    interface {
 		Stop() bool
 		Reset(time.Duration)
 	}
@@ -40,12 +41,13 @@ func (s *Store) GrantLease(ttl time.Duration) (*Lease, error) {
 	id := fmt.Sprintf("lease-%d", s.reqSeq.Add(1))
 
 	l := &Lease{
-		store: s,
-		id:    id,
-		ttl:   ttl,
-		keys:  make(map[string]bool),
+		store:    s,
+		id:       id,
+		ttl:      ttl,
+		keys:     make(map[string]bool),
+		deadline: s.clk.Now().Add(ttl),
 	}
-	l.timer = s.clk.AfterFunc(ttl, l.expire)
+	l.timer = s.clk.AfterFunc(ttl, func() { l.expire(false) })
 	return l, nil
 }
 
@@ -79,12 +81,16 @@ func (l *Lease) KeepAlive() error {
 	}
 	l.timer.Stop()
 	l.timer.Reset(l.ttl)
+	// The deadline is what an in-flight expiry re-checks: a timer
+	// goroutine spawned at the old deadline must not kill a lease whose
+	// owner renewed at the same instant.
+	l.deadline = l.store.clk.Now().Add(l.ttl)
 	return nil
 }
 
 // Revoke expires the lease immediately, deleting attached keys.
 func (l *Lease) Revoke() {
-	l.expire()
+	l.expire(true)
 }
 
 // Expired reports whether the lease has expired.
@@ -94,10 +100,19 @@ func (l *Lease) Expired() bool {
 	return l.expired
 }
 
-// expire deletes every attached key through the replicated log.
-func (l *Lease) expire() {
+// expire deletes every attached key through the replicated log. force
+// distinguishes Revoke (always expires) from the timer path, which
+// yields to a keep-alive that re-armed the lease after this expiry was
+// already in flight.
+func (l *Lease) expire(force bool) {
 	l.mu.Lock()
 	if l.expired {
+		l.mu.Unlock()
+		return
+	}
+	if !force && l.store.clk.Now().Before(l.deadline) {
+		// Lost the race against KeepAlive: the re-armed timer owns the
+		// next expiry.
 		l.mu.Unlock()
 		return
 	}

@@ -30,6 +30,23 @@ const (
 	// KindJobState carries a job lifecycle transition
 	// (types.JobState in Status).
 	KindJobState Kind = "job-state"
+	// KindEvictionIntent announces a scheduler eviction (preemption or
+	// node drain) with a grace deadline: the job's learners should
+	// checkpoint now. Detail carries the reason, Deadline the cutoff.
+	KindEvictionIntent Kind = "eviction-intent"
+	// KindEvictionAck is a learner's response to an eviction intent: its
+	// on-demand checkpoint is durable (Images is the checkpointed
+	// progress) and the scheduler may take the capacity.
+	KindEvictionAck Kind = "eviction-ack"
+)
+
+// Eviction envelope statuses (Status is mandatory on the wire; these
+// type the two eviction payloads).
+const (
+	// StatusEvict is the Status of a KindEvictionIntent envelope.
+	StatusEvict = "EVICT"
+	// StatusCheckpointed is the Status of a KindEvictionAck envelope.
+	StatusCheckpointed = "CHECKPOINTED"
 )
 
 // Envelope is one control-plane event.
@@ -50,6 +67,12 @@ type Envelope struct {
 	// the write is acknowledged (producers don't know their revision in
 	// advance; watch consumers stamp it from the delivery).
 	Rev uint64 `json:"rev,omitempty"`
+	// Deadline is the eviction grace cutoff (KindEvictionIntent only):
+	// a gang that has not acked by then is force-evicted.
+	Deadline time.Time `json:"deadline,omitempty"`
+	// Images is the checkpointed training progress (KindEvictionAck
+	// only): the image count the job resumes from after the eviction.
+	Images int64 `json:"images,omitempty"`
 }
 
 // LearnerStatus builds a learner-status envelope.
@@ -67,6 +90,33 @@ func LearnerStatus(jobID string, u types.StatusUpdate) Envelope {
 // JobState builds a job-state envelope.
 func JobState(jobID string, s types.JobState, detail string, t time.Time) Envelope {
 	return Envelope{Kind: KindJobState, JobID: jobID, Status: string(s), Detail: detail, Time: t}
+}
+
+// EvictionIntent builds an eviction-intent envelope: the scheduler
+// wants the job's capacity back by deadline; reason is the kube
+// eviction reason (preemption, drain).
+func EvictionIntent(jobID, reason string, deadline, t time.Time) Envelope {
+	return Envelope{
+		Kind:     KindEvictionIntent,
+		JobID:    jobID,
+		Status:   StatusEvict,
+		Detail:   reason,
+		Deadline: deadline,
+		Time:     t,
+	}
+}
+
+// EvictionAck builds a learner's eviction-ack envelope: the on-demand
+// checkpoint at images is durable in the results bucket.
+func EvictionAck(jobID string, learner int, images int64, t time.Time) Envelope {
+	return Envelope{
+		Kind:    KindEvictionAck,
+		JobID:   jobID,
+		Learner: learner,
+		Status:  StatusCheckpointed,
+		Images:  images,
+		Time:    t,
+	}
 }
 
 // StatusUpdate converts a learner-status envelope back to the Guardian's

@@ -103,6 +103,12 @@ type Config struct {
 	// DisableBackfill turns off backfilling small gangs into GPU holes
 	// while a large gang waits at the head of the queue.
 	DisableBackfill bool
+	// EvictionGracePeriod, when positive, turns preemption and node
+	// drain into a two-phase protocol: the scheduler posts an eviction
+	// intent with this grace deadline instead of killing the gang's pods
+	// outright, giving the owner time to checkpoint and AckEviction
+	// (deadline expiry force-evicts). Zero keeps the immediate kill.
+	EvictionGracePeriod time.Duration
 	// Seed makes delay jitter reproducible.
 	Seed int64
 }
@@ -440,16 +446,26 @@ func (c *Cluster) UncordonNode(name string) error {
 	return nil
 }
 
-// DrainNode cordons the node and evicts its pods (kubectl drain); the
-// pods' controllers recreate them on other nodes.
+// DrainNode cordons the node and evicts its pods (kubectl drain). Plain
+// pods are deleted immediately and their controllers recreate them on
+// other nodes. Gangs holding reservation on the node flow through the
+// gang scheduler in reverse-priority order — with a grace period the
+// eviction is two-phase (the owner checkpoints before the pods die),
+// otherwise it completes immediately — so the holdings ledger stays
+// consistent either way, and the scheduler repairs and reschedules the
+// freed capacity.
 func (c *Cluster) DrainNode(name string) error {
 	if err := c.CordonNode(name); err != nil {
 		return err
 	}
 	c.mu.Lock()
+	n := c.nodes[name]
+	c.mu.Unlock()
+	c.sched.drainGangs(n)
+	c.mu.Lock()
 	var victims []*Pod
 	for _, p := range c.pods {
-		if p.nodeName() == name {
+		if p.nodeName() == name && p.Spec.Gang == "" {
 			victims = append(victims, p)
 		}
 	}

@@ -3,6 +3,8 @@ package kube
 import (
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestFreeGPUsAccounting(t *testing.T) {
@@ -105,6 +107,164 @@ func TestDrainEvictsAndControllerReschedules(t *testing.T) {
 		clk.Sleep(100 * time.Millisecond)
 	}
 	t.Fatal("drained pods did not reschedule off the node")
+}
+
+// waitFreeGPUs polls the schedulable free-GPU count.
+func waitFreeGPUs(t *testing.T, c *Cluster, clk *clock.Sim, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
+		if c.FreeGPUs("") == want {
+			return
+		}
+		clk.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("free GPUs = %d, want %d", c.FreeGPUs(""), want)
+}
+
+// TestDrainMidGangEvictsThroughScheduler is the regression test for the
+// seed behavior where DrainNode killed a gang member pod directly and
+// the scheduler's holdings ledger never heard about it. Drain now flows
+// through the gang scheduler: the resident gang is evicted whole (to
+// GangPreempted, so its owner redeploys), its reservations are fully
+// withdrawn, and every GPU comes back.
+func TestDrainMidGangEvictsThroughScheduler(t *testing.T) {
+	c, clk := newGangCluster(t, Config{},
+		NodeSpec{Name: "n1", GPUs: 2, GPUType: "K80"},
+		NodeSpec{Name: "n2", GPUs: 2, GPUType: "K80"},
+	)
+	g, err := c.SubmitGang(GangSpec{Name: "dg", Members: 2, GPUsPerMember: 2, GPUType: "K80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.State() != GangAdmitted {
+		t.Fatalf("gang state = %v, want Admitted", g.State())
+	}
+	for m := 0; m < 2; m++ {
+		if _, err := c.CreatePod(memberSpec("dg", m, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitPhase(t, c, clk, "dg-0", PodRunning, 30*time.Second)
+	waitPhase(t, c, clk, "dg-1", PodRunning, 30*time.Second)
+	if res := g.NodeReservations(); res["n1"] != 2 || res["n2"] != 2 {
+		t.Fatalf("reservations = %v, want 2 on each node", res)
+	}
+
+	if err := c.DrainNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	waitGangState(t, clk, g, GangPreempted, 30*time.Second)
+	if res := g.NodeReservations(); len(res) != 0 {
+		t.Fatalf("preempted gang still holds reservations: %v", res)
+	}
+	// The dying members' GPUs return: n2's 2 while n1 is cordoned, all 4
+	// after uncordon — nothing leaked into a stale holdings entry.
+	waitFreeGPUs(t, c, clk, 2, 60*time.Second)
+	if err := c.UncordonNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFreeGPUs(t, c, clk, 4, 60*time.Second)
+}
+
+// TestDrainGracefulEvictionAckAndLedger drains a node hosting gang
+// members under a grace period: the gang gets an eviction intent
+// (reason drain) and keeps running; the owner's ack completes the
+// eviction, and the holdings ledger ends consistent.
+func TestDrainGracefulEvictionAckAndLedger(t *testing.T) {
+	c, clk := newGangCluster(t, Config{EvictionGracePeriod: time.Minute},
+		NodeSpec{Name: "n1", GPUs: 2, GPUType: "K80"},
+		NodeSpec{Name: "n2", GPUs: 2, GPUType: "K80"},
+	)
+	g, err := c.SubmitGang(GangSpec{Name: "gg", Members: 2, GPUsPerMember: 2, GPUType: "K80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 2; m++ {
+		if _, err := c.CreatePod(memberSpec("gg", m, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitPhase(t, c, clk, "gg-0", PodRunning, 30*time.Second)
+	waitPhase(t, c, clk, "gg-1", PodRunning, 30*time.Second)
+
+	if err := c.DrainNode("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.State(); got != GangEvicting {
+		t.Fatalf("gang state after graceful drain = %v, want Evicting", got)
+	}
+	select {
+	case <-g.EvictionNotice():
+	default:
+		t.Fatal("eviction notice not posted")
+	}
+	intent, ok := g.EvictionIntent()
+	if !ok || intent.Reason != EvictReasonDrain {
+		t.Fatalf("intent = %+v (ok=%v), want drain reason", intent, ok)
+	}
+	if want := intent.PostedAt.Add(time.Minute); !intent.Deadline.Equal(want) {
+		t.Fatalf("deadline = %v, want %v", intent.Deadline, want)
+	}
+	// Grace window: the members keep training (checkpointing) — no kill.
+	clk.Sleep(3 * time.Second)
+	for m := 0; m < 2; m++ {
+		name := "gg-" + string(rune('0'+m))
+		if p := c.Pod(name); p == nil || p.Phase() != PodRunning {
+			t.Fatalf("member %s not running during grace window", name)
+		}
+	}
+
+	c.AckEviction("gg")
+	waitGangState(t, clk, g, GangPreempted, 30*time.Second)
+	if res := g.NodeReservations(); len(res) != 0 {
+		t.Fatalf("reservations after completed eviction: %v", res)
+	}
+	waitFreeGPUs(t, c, clk, 2, 60*time.Second) // n2 cordoned
+	if err := c.UncordonNode("n2"); err != nil {
+		t.Fatal(err)
+	}
+	waitFreeGPUs(t, c, clk, 4, 60*time.Second)
+}
+
+// TestGracefulPreemptionDeadlineForceEvicts: a higher-priority gang
+// posts an intent to the victim instead of killing it; a victim that
+// never acks (wedged) is force-evicted at the grace deadline, so it
+// cannot block the preemptor indefinitely.
+func TestGracefulPreemptionDeadlineForceEvicts(t *testing.T) {
+	c, clk := newGangCluster(t, Config{EvictionGracePeriod: 5 * time.Second},
+		NodeSpec{Name: "n1", GPUs: 2, GPUType: "K80"},
+	)
+	low, err := c.SubmitGang(GangSpec{Name: "low", Tenant: "a", Priority: 1, Members: 1, GPUsPerMember: 2, GPUType: "K80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreatePod(memberSpec("low", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	waitPhase(t, c, clk, "low-0", PodRunning, 30*time.Second)
+
+	hi, err := c.SubmitGang(GangSpec{Name: "hi", Tenant: "b", Priority: 10, Members: 1, GPUsPerMember: 2, GPUType: "K80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGangState(t, clk, low, GangEvicting, 10*time.Second)
+	if hi.State() != GangPending {
+		t.Fatalf("preemptor state = %v, want Pending through the grace window", hi.State())
+	}
+	if p := c.Pod("low-0"); p == nil || p.Phase() != PodRunning {
+		t.Fatal("victim pod killed before the grace deadline")
+	}
+	// Repeated reschedule passes during the grace window must not try to
+	// find more victims (the projection counts the evicting gang).
+	c.sched.kick()
+	if low.State() != GangEvicting {
+		t.Fatalf("victim state churned to %v on reschedule", low.State())
+	}
+
+	// No ack ever arrives: the deadline completes the eviction.
+	waitGangState(t, clk, low, GangPreempted, 30*time.Second)
+	waitGangState(t, clk, hi, GangAdmitted, 30*time.Second)
 }
 
 func TestDrainUnknownNode(t *testing.T) {

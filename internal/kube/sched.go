@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Gang scheduling errors.
@@ -33,6 +35,11 @@ const (
 	GangPreempted
 	// GangReleased: cancelled (or completed) and its reservation returned.
 	GangReleased
+	// GangEvicting: an eviction intent has been posted. The gang keeps
+	// its reservation and its pods keep running while the owner
+	// checkpoints; AckEviction (or the grace deadline) completes the
+	// eviction and the gang becomes GangPreempted.
+	GangEvicting
 )
 
 // String implements fmt.Stringer.
@@ -46,9 +53,33 @@ func (s GangState) String() string {
 		return "Preempted"
 	case GangReleased:
 		return "Released"
+	case GangEvicting:
+		return "Evicting"
 	default:
 		return fmt.Sprintf("gang(%d)", int(s))
 	}
+}
+
+// Eviction intent reasons.
+const (
+	// EvictReasonPreemption marks an eviction in favor of a
+	// higher-priority gang.
+	EvictReasonPreemption = "preemption"
+	// EvictReasonDrain marks an eviction caused by a node drain.
+	EvictReasonDrain = "drain"
+)
+
+// EvictionIntent is one posted graceful-eviction handshake: the
+// scheduler wants the gang's capacity and gives the owner until
+// Deadline to checkpoint and ack before the member pods are killed.
+type EvictionIntent struct {
+	// Reason is EvictReasonPreemption or EvictReasonDrain.
+	Reason string
+	// PostedAt is when the scheduler posted the intent.
+	PostedAt time.Time
+	// Deadline is when a non-acking gang is force-evicted, so a wedged
+	// owner cannot block a higher-priority gang indefinitely.
+	Deadline time.Time
 }
 
 // GangSpec describes a pod group that must be placed atomically: all
@@ -89,6 +120,9 @@ type Gang struct {
 	admittedCh  chan struct{}
 	evictedCh   chan struct{}
 	evicted     bool
+	intent      *EvictionIntent
+	noticeCh    chan struct{} // closed when an eviction intent is posted
+	graceTimer  clock.Timer   // deadline backstop; stopped on early completion
 }
 
 // Name returns the gang's name.
@@ -106,6 +140,23 @@ func (g *Gang) Admitted() <-chan struct{} { return g.admittedCh }
 
 // Evicted is closed when the gang is preempted or released.
 func (g *Gang) Evicted() <-chan struct{} { return g.evictedCh }
+
+// EvictionNotice is closed when the scheduler posts an eviction intent
+// for the gang — the owner's cue to checkpoint and AckEviction before
+// the grace deadline.
+func (g *Gang) EvictionNotice() <-chan struct{} { return g.noticeCh }
+
+// EvictionIntent returns the posted intent, if any. It stays readable
+// after the eviction completes (the owner reads the reason while
+// handling the resulting preemption).
+func (g *Gang) EvictionIntent() (EvictionIntent, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.intent == nil {
+		return EvictionIntent{}, false
+	}
+	return *g.intent, true
+}
 
 // Degraded reports whether an admitted gang lost part of its reservation
 // to a node failure and is waiting for repair capacity.
@@ -161,6 +212,7 @@ type gangScheduler struct {
 	c          *Cluster
 	preemption bool
 	backfill   bool
+	grace      time.Duration // > 0 enables the graceful-eviction protocol
 
 	mu       sync.Mutex
 	gangs    map[string]*Gang
@@ -174,6 +226,7 @@ func newGangScheduler(c *Cluster, cfg Config) *gangScheduler {
 		c:          c,
 		preemption: !cfg.DisablePreemption,
 		backfill:   !cfg.DisableBackfill,
+		grace:      cfg.EvictionGracePeriod,
 		gangs:      make(map[string]*Gang),
 		inflight:   make(map[*Node]int),
 	}
@@ -223,6 +276,7 @@ func (c *Cluster) SubmitGang(spec GangSpec) (*Gang, error) {
 		submittedAt: c.clk.Now(),
 		admittedCh:  make(chan struct{}),
 		evictedCh:   make(chan struct{}),
+		noticeCh:    make(chan struct{}),
 	}
 	s.gangs[spec.Name] = g
 	s.queue.push(g)
@@ -271,11 +325,121 @@ func (c *Cluster) CancelGang(name string) {
 	}
 }
 
+// AckEviction completes a gang's posted eviction intent early: the
+// owner has checkpointed and the scheduler may take the capacity now
+// instead of waiting for the grace deadline. It is a no-op unless the
+// gang is currently evicting.
+func (c *Cluster) AckEviction(name string) {
+	s := c.sched
+	s.mu.Lock()
+	g := s.gangs[name]
+	s.mu.Unlock()
+	if g != nil {
+		s.completeEviction(g)
+	}
+}
+
+// postIntentLocked opens the two-phase eviction for an admitted gang:
+// the gang keeps its reservation and its pods keep running while the
+// owner checkpoints; AckEviction or the grace-deadline timer finishes
+// the job. Caller holds s.mu.
+func (s *gangScheduler) postIntentLocked(g *Gang, reason string) {
+	g.mu.Lock()
+	if g.state != GangAdmitted {
+		g.mu.Unlock()
+		return
+	}
+	now := s.c.clk.Now()
+	g.state = GangEvicting
+	g.intent = &EvictionIntent{Reason: reason, PostedAt: now, Deadline: now.Add(s.grace)}
+	close(g.noticeCh)
+	g.mu.Unlock()
+	// The deadline backstop: a wedged owner that never acks cannot hold
+	// the capacity past the grace period. The timer handle is installed
+	// before s.mu is released, so any completion path (which needs s.mu)
+	// finds and stops it.
+	t := s.c.clk.AfterFunc(s.grace, func() { s.completeEviction(g) })
+	g.mu.Lock()
+	g.graceTimer = t
+	g.mu.Unlock()
+}
+
+// completeEviction finishes a posted intent — the immediate-eviction
+// endgame: the reservation is released, the member pods die, and the
+// gang becomes GangPreempted for its owner to redeploy. Idempotent: the
+// ack path and the deadline timer may race, and a gang cancelled during
+// its grace window is simply gone.
+func (s *gangScheduler) completeEviction(g *Gang) {
+	s.mu.Lock()
+	if g.State() != GangEvicting {
+		s.mu.Unlock()
+		return
+	}
+	pods := s.evictLocked(g, GangPreempted)
+	s.rescheduleLocked()
+	s.mu.Unlock()
+	for _, p := range pods {
+		p.kill(killPreempted)
+	}
+}
+
+// drainGangs gracefully evicts every gang holding reservation on n,
+// in reverse-priority order (lowest priority first, newest first within
+// a priority) — the node-drain path through the gang scheduler, so
+// drain and preemption share one eviction protocol and the holdings
+// ledger stays consistent. Without a grace period the evictions
+// complete immediately, exactly like an immediate preemption.
+func (s *gangScheduler) drainGangs(n *Node) {
+	if n == nil {
+		return
+	}
+	s.mu.Lock()
+	var resident []*Gang
+	for _, g := range s.gangs {
+		g.mu.Lock()
+		held := g.reserved[n]
+		st := g.state
+		g.mu.Unlock()
+		if held > 0 && st == GangAdmitted {
+			resident = append(resident, g)
+		}
+	}
+	sort.Slice(resident, func(i, j int) bool {
+		a, b := resident[i], resident[j]
+		if a.Spec.Priority != b.Spec.Priority {
+			return a.Spec.Priority < b.Spec.Priority
+		}
+		return a.seq > b.seq
+	})
+	var victims []*Pod
+	for _, g := range resident {
+		if s.grace > 0 {
+			s.postIntentLocked(g, EvictReasonDrain)
+			continue
+		}
+		// Immediate mode: record the intent (zero grace) so the owner
+		// still learns why it was evicted, then complete on the spot.
+		g.mu.Lock()
+		if g.intent == nil {
+			now := s.c.clk.Now()
+			g.intent = &EvictionIntent{Reason: EvictReasonDrain, PostedAt: now, Deadline: now}
+			close(g.noticeCh)
+		}
+		g.mu.Unlock()
+		victims = append(victims, s.evictLocked(g, GangPreempted)...)
+	}
+	s.rescheduleLocked()
+	s.mu.Unlock()
+	for _, p := range victims {
+		p.kill(killPreempted)
+	}
+}
+
 // evictLocked takes the gang out of service: pending gangs leave the
-// queue; admitted gangs return idle reservation to their nodes and move
-// the bound remainder to the inflight ledger (it returns to the nodes as
-// the member pods die). The gang's member pods are returned for the
-// caller to kill outside sched.mu-critical work.
+// queue; admitted (and evicting) gangs return idle reservation to their
+// nodes and move the bound remainder to the inflight ledger (it returns
+// to the nodes as the member pods die). The gang's member pods are
+// returned for the caller to kill outside sched.mu-critical work.
 func (s *gangScheduler) evictLocked(g *Gang, to GangState) []*Pod {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -293,8 +457,8 @@ func (s *gangScheduler) evictLocked(g *Gang, to GangState) []*Pod {
 		g.markEvicted()
 		return nil
 	}
-	// Admitted: give idle capacity back now, track bound capacity as
-	// in-flight until the pods release it.
+	// Admitted or evicting: give idle capacity back now, track bound
+	// capacity as in-flight until the pods release it.
 	for n, k := range g.idle {
 		if k <= 0 {
 			continue
@@ -318,6 +482,12 @@ func (s *gangScheduler) evictLocked(g *Gang, to GangState) []*Pod {
 	g.reserved = make(map[*Node]int)
 	g.lost = 0
 	g.state = to
+	// An early completion (ack) or cancellation retires the grace
+	// deadline; leaving it armed would park a stale wakeup on the clock.
+	if g.graceTimer != nil {
+		g.graceTimer.Stop()
+		g.graceTimer = nil
+	}
 	g.markEvicted()
 	return s.memberPodsLocked(g.Spec.Name)
 }
@@ -435,8 +605,9 @@ func (s *gangScheduler) podReleased(n *Node, spec PodSpec) {
 			g.mu.Lock()
 			// The reservation may be gone (gang evicted, or the node
 			// crashed and zeroed it); only then do the GPUs bypass the
-			// gang and go straight back to the node.
-			if g.state == GangAdmitted && g.idle[n]+spec.GPUs <= g.reserved[n] {
+			// gang and go straight back to the node. A gang mid-grace
+			// (Evicting) still owns its reservation.
+			if (g.state == GangAdmitted || g.state == GangEvicting) && g.idle[n]+spec.GPUs <= g.reserved[n] {
 				g.idle[n] += spec.GPUs
 				toNode = 0
 			}
@@ -683,8 +854,11 @@ func (s *gangScheduler) backfillLimit(head *Gang) func(n *Node, free int) int {
 // priority first, then gangs of the tenant holding the most reserved
 // GPUs, then the most recently admitted — so a tenant hogging the
 // cluster pays before a modest one, and older work survives longer.
-// Capacity already in flight (from earlier evictions) counts toward the
-// projection, so repeated passes never over-preempt.
+// Capacity already in flight (from earlier evictions) and reservations
+// of gangs mid-grace both count toward the projection, so repeated
+// passes never over-preempt. With a grace period configured, victims
+// get an eviction intent (checkpoint-before-preempt) instead of an
+// immediate kill.
 func (s *gangScheduler) preemptForLocked(head *Gang) {
 	if head == nil {
 		return
@@ -696,7 +870,6 @@ func (s *gangScheduler) preemptForLocked(head *Gang) {
 	}
 	// Projected usable capacity per node: free + in-flight returns.
 	avail := make(map[*Node]int)
-	placeable := 0
 	for _, n := range s.c.Nodes() {
 		n.mu.Lock()
 		ok := !n.down && !n.cordoned && (ht == "" || n.Spec.GPUType == ht)
@@ -706,7 +879,25 @@ func (s *gangScheduler) preemptForLocked(head *Gang) {
 			continue
 		}
 		avail[n] = free + s.inflight[n]
-		placeable += avail[n] / hs
+	}
+	// Capacity already promised through the grace protocol counts too:
+	// an evicting gang's reservation arrives at ack or deadline, so
+	// reschedule passes during the grace window must not pick fresh
+	// victims for the same shortfall.
+	for _, g := range s.gangs {
+		g.mu.Lock()
+		if g.state == GangEvicting {
+			for n, r := range g.reserved {
+				if _, ok := avail[n]; ok {
+					avail[n] += r
+				}
+			}
+		}
+		g.mu.Unlock()
+	}
+	placeable := 0
+	for _, a := range avail {
+		placeable += a / hs
 	}
 	if placeable >= head.Spec.Members {
 		return // enough capacity is already free or on its way
@@ -759,6 +950,12 @@ func (s *gangScheduler) preemptForLocked(head *Gang) {
 		return // preempting everything eligible still would not fit: don't
 	}
 	for _, v := range victims {
+		if s.grace > 0 {
+			// Two-phase: post the intent and let the owner checkpoint;
+			// the capacity moves at ack or deadline.
+			s.postIntentLocked(v, EvictReasonPreemption)
+			continue
+		}
 		pods := s.evictLocked(v, GangPreempted)
 		for _, p := range pods {
 			p.kill(killPreempted)

@@ -395,7 +395,24 @@ type ChangeEvent struct {
 // lifecycle manager's QUEUED sweep) — the feed replaces re-listing the
 // collection on a poll loop. Cancel must be called to release the feed.
 func (c *Collection) Watch() (<-chan ChangeEvent, func(), error) {
-	ch, cancel, err := c.db.eng.Watch(c.prefix)
+	return c.watch(c.prefix, "")
+}
+
+// WatchKey opens a change feed over a single document: only committed
+// changes of the identified document are delivered, in revision order.
+// High-fanout consumers that each care about one document (a Guardian
+// per job watching for its own halt) use this instead of Watch, which
+// wakes every subscriber on every document's commit.
+func (c *Collection) WatchKey(id string) (<-chan ChangeEvent, func(), error) {
+	return c.watch(c.key(id), id)
+}
+
+// watch is the shared feed pump. prefix selects events at the engine
+// hub; only, when non-empty, additionally filters to the exact document
+// (a key is also a prefix of longer ids, so hub filtering alone would
+// over-match).
+func (c *Collection) watch(prefix, only string) (<-chan ChangeEvent, func(), error) {
+	ch, cancel, err := c.db.eng.Watch(prefix)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mongo: watch %s: %v", c.name, err)
 	}
@@ -415,6 +432,9 @@ func (c *Collection) Watch() (<-chan ChangeEvent, func(), error) {
 				return
 			case ev := <-ch:
 				ce := ChangeEvent{ID: strings.TrimPrefix(ev.Key, c.prefix), Rev: ev.Rev}
+				if only != "" && ce.ID != only {
+					continue
+				}
 				if ev.Type == store.EventDelete {
 					ce.Deleted = true
 				} else {

@@ -20,11 +20,14 @@ type Lease struct {
 	eng *Engine
 	id  uint64
 	ttl time.Duration
+	clk clock.Clock
 
-	mu      sync.Mutex
-	keys    map[string]bool
-	expired bool
-	timer   clock.Timer
+	mu       sync.Mutex
+	keys     map[string]bool
+	expired  bool
+	deadline time.Time
+	timer    clock.Timer
+	onExpire []func()
 }
 
 var leaseSeq atomic.Uint64
@@ -39,12 +42,14 @@ func (e *Engine) GrantLease(clk clock.Clock, ttl time.Duration) (*Lease, error) 
 		return nil, fmt.Errorf("store: lease ttl must be positive, got %v", ttl)
 	}
 	l := &Lease{
-		eng:  e,
-		id:   leaseSeq.Add(1),
-		ttl:  ttl,
-		keys: make(map[string]bool),
+		eng:      e,
+		id:       leaseSeq.Add(1),
+		ttl:      ttl,
+		clk:      clk,
+		keys:     make(map[string]bool),
+		deadline: clk.Now().Add(ttl),
 	}
-	l.timer = clk.AfterFunc(ttl, l.expire)
+	l.timer = clk.AfterFunc(ttl, func() { l.expire(false) })
 	return l, nil
 }
 
@@ -79,11 +84,30 @@ func (l *Lease) KeepAlive() error {
 	}
 	l.timer.Stop()
 	l.timer.Reset(l.ttl)
+	// The deadline is the authority an in-flight expiry re-checks: a
+	// timer goroutine already spawned when this keep-alive lands must
+	// not kill a lease whose owner just renewed it.
+	l.deadline = l.clk.Now().Add(l.ttl)
 	return nil
 }
 
 // Revoke expires the lease immediately, deleting attached keys.
-func (l *Lease) Revoke() { l.expire() }
+func (l *Lease) Revoke() { l.expire(true) }
+
+// OnExpire registers fn to run (once, on the expiring goroutine) when
+// the lease expires or is revoked; a lease that already expired runs fn
+// synchronously. The watch-lease integration hangs watcher cancellation
+// off this hook, so a dead watcher's resources die with its lease.
+func (l *Lease) OnExpire(fn func()) {
+	l.mu.Lock()
+	if l.expired {
+		l.mu.Unlock()
+		fn()
+		return
+	}
+	l.onExpire = append(l.onExpire, fn)
+	l.mu.Unlock()
+}
 
 // Expired reports whether the lease has expired.
 func (l *Lease) Expired() bool {
@@ -94,9 +118,18 @@ func (l *Lease) Expired() bool {
 
 // expire deletes every attached key in a single atomic commit, so a
 // snapshot reader sees the component's presence vanish all at once.
-func (l *Lease) expire() {
+// force distinguishes Revoke (always expires) from the timer path,
+// which yields to a keep-alive that re-armed the lease after this
+// expiry was already in flight.
+func (l *Lease) expire(force bool) {
 	l.mu.Lock()
 	if l.expired {
+		l.mu.Unlock()
+		return
+	}
+	if !force && l.clk.Now().Before(l.deadline) {
+		// Lost the race against KeepAlive: the re-armed timer owns the
+		// next expiry.
 		l.mu.Unlock()
 		return
 	}
@@ -106,6 +139,11 @@ func (l *Lease) expire() {
 	for k := range l.keys {
 		ops = append(ops, Op{Kind: OpDelete, Key: k})
 	}
+	cbs := l.onExpire
+	l.onExpire = nil
 	l.mu.Unlock()
 	_, _ = l.eng.Commit(ops) // best effort: the engine may be closing
+	for _, fn := range cbs {
+		fn()
+	}
 }

@@ -245,6 +245,13 @@ func (h *Hub[E]) dispatchLoop() {
 	}
 }
 
+// Watchers reports the live subscription count.
+func (h *Hub[E]) Watchers() int {
+	h.watchersMu.RLock()
+	defer h.watchersMu.RUnlock()
+	return len(h.watchers)
+}
+
 // Delivered reports the highest accepted revision.
 func (h *Hub[E]) Delivered() uint64 {
 	h.mu.Lock()

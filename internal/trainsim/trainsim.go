@@ -338,6 +338,27 @@ func (c Config) CheckpointTime() time.Duration {
 	return c.DataLink.TransferTime(c.CheckpointBytes())
 }
 
+// CheckpointStallTime is how long training stalls to serialize the
+// model state off the device for an on-demand checkpoint: the
+// parameters cross the GPU's host link before the upload can start.
+// Periodic checkpoints hide this copy behind the next step's compute;
+// an eviction-grace checkpoint cannot (the process is about to die), so
+// it pays the stall in full.
+func (c Config) CheckpointStallTime() time.Duration {
+	c = c.withDefaults()
+	return c.GPU.HostLink.TransferTime(c.CheckpointBytes())
+}
+
+// EvictionCheckpointTime is the full cost of an on-demand checkpoint
+// taken under an eviction grace period: the device stall plus the
+// object-store upload. It is the floor on a useful
+// EvictionGracePeriod — a grace shorter than this force-evicts every
+// learner before its checkpoint lands.
+func (c Config) EvictionCheckpointTime() time.Duration {
+	c = c.withDefaults()
+	return c.CheckpointStallTime() + c.DataLink.TransferTime(c.CheckpointBytes())
+}
+
 // noise returns a deterministic pseudo-random slowdown fraction in
 // [0, 2*NoiseFraction), keyed by the configuration identity and seed. It
 // realizes the run-to-run interference of real shared clusters

@@ -227,3 +227,21 @@ func TestQuickOverheadsNeverHelp(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEvictionCheckpointCostModel(t *testing.T) {
+	cfg := baseConfig(VGG16, TensorFlow, gpu.P100, 1)
+	stall := cfg.CheckpointStallTime()
+	if stall <= 0 {
+		t.Fatalf("stall time = %v, want > 0", stall)
+	}
+	// The on-demand cost decomposes exactly into device stall + upload —
+	// the floor an EvictionGracePeriod must clear to be useful.
+	if got, want := cfg.EvictionCheckpointTime(), stall+cfg.CheckpointTime(); got != want {
+		t.Fatalf("eviction checkpoint time = %v, want stall %v + upload %v = %v", got, stall, cfg.CheckpointTime(), want)
+	}
+	// The device serialization (host link) is the minor term: the shared
+	// 1GbE upload dominates, as it does for periodic checkpoints.
+	if stall >= cfg.CheckpointTime() {
+		t.Errorf("device stall %v should undercut the network upload %v", stall, cfg.CheckpointTime())
+	}
+}

@@ -61,6 +61,19 @@ type Options struct {
 	// while a large gang waits at the head of the queue.
 	DisableBackfill bool
 
+	// EvictionGracePeriod is how long a preempted or drained learner
+	// gang gets to write an on-demand checkpoint before its pods are
+	// force-killed (default 30s): the scheduler posts an eviction intent,
+	// the Guardian relays it, the learners checkpoint and ack, and only
+	// then does the eviction complete — so an evicted job resumes from
+	// the moment of eviction instead of the last periodic checkpoint.
+	// Sub-second values effectively test the force-eviction path.
+	EvictionGracePeriod time.Duration
+	// ImmediateEviction restores the pre-protocol behavior for A/B
+	// comparison: preemption and node drain kill learner pods instantly,
+	// and a job forfeits up to a full CheckpointInterval of training.
+	ImmediateEviction bool
+
 	// ControlPlane selects how the core services observe state changes:
 	// "watch" (the default) drives the Guardian and LCM from
 	// revision-ordered etcd watches and the metadata change feed, with
@@ -98,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GuardianStepDelay <= 0 {
 		o.GuardianStepDelay = 200 * time.Millisecond
+	}
+	if o.EvictionGracePeriod <= 0 {
+		o.EvictionGracePeriod = 30 * time.Second
 	}
 	if o.ControlPlane == "" {
 		o.ControlPlane = core.ControlPlaneWatch
@@ -169,13 +185,18 @@ func New(opts Options) (*Platform, error) {
 			GPUType: opts.GPUType,
 		})
 	}
+	grace := opts.EvictionGracePeriod
+	if opts.ImmediateEviction {
+		grace = 0
+	}
 	p.cluster = kube.NewCluster(kube.Config{
-		Clock:             p.clk,
-		NFS:               p.nfs,
-		Scheduling:        opts.Scheduling,
-		DisablePreemption: opts.DisablePreemption,
-		DisableBackfill:   opts.DisableBackfill,
-		Seed:              opts.Seed,
+		Clock:               p.clk,
+		NFS:                 p.nfs,
+		Scheduling:          opts.Scheduling,
+		DisablePreemption:   opts.DisablePreemption,
+		DisableBackfill:     opts.DisableBackfill,
+		EvictionGracePeriod: grace,
+		Seed:                opts.Seed,
 	}, nodes...)
 	p.chaos = chaos.New(p.cluster)
 

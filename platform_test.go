@@ -2,11 +2,15 @@ package dlaas
 
 import (
 	"fmt"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core/guardian"
+	"repro/internal/core/learner"
+	"repro/internal/gpu"
 	"repro/internal/kube"
 )
 
@@ -759,6 +763,239 @@ func TestOversizedJobFailsFast(t *testing.T) {
 	}
 	if !strings.Contains(rec.Reason, "capacity") {
 		t.Fatalf("reason = %q, want a capacity diagnosis", rec.Reason)
+	}
+}
+
+// learnerProgress reads learner 0's live progress counter off the job's
+// shared volume (zero when the volume or file is gone).
+func learnerProgress(p *Platform, id string) int64 {
+	vol, err := p.Cluster().NFS().Volume(guardian.VolumeName(id))
+	if err != nil {
+		return 0
+	}
+	raw, err := vol.Read(learner.ProgressPath(0))
+	if err != nil {
+		return 0
+	}
+	n, _ := strconv.ParseInt(string(raw), 10, 64)
+	return n
+}
+
+var (
+	onDemandCkptRe = regexp.MustCompile(`on-demand checkpoint at (\d+)/`)
+	resumedRe      = regexp.MustCompile(`resumed from checkpoint at (\d+)/`)
+)
+
+// evictionLogPoints extracts the grace-checkpoint and resume progress
+// from a learner log (zero when the marker is absent).
+func evictionLogPoints(logText string) (ack, resumed int64) {
+	if m := onDemandCkptRe.FindAllStringSubmatch(logText, -1); len(m) > 0 {
+		ack, _ = strconv.ParseInt(m[len(m)-1][1], 10, 64)
+	}
+	if m := resumedRe.FindAllStringSubmatch(logText, -1); len(m) > 0 {
+		resumed, _ = strconv.ParseInt(m[len(m)-1][1], 10, 64)
+	}
+	return ack, resumed
+}
+
+// evictionManifest is a job long enough to be mid-training when the
+// eviction lands, with periodic checkpointing effectively off — so any
+// resume point it recovers must come from the grace-period checkpoint.
+func evictionManifest(t *testing.T, p *Platform, tenant string) *Manifest {
+	t.Helper()
+	m := testManifest(t, p, tenant, 1)
+	m.DatasetImages = 7000
+	m.CheckpointInterval = time.Hour
+	m.Priority = 1
+	return m
+}
+
+// evictionOptions keeps the eviction e2e tests light for the -short
+// tier: the protocol under test is scheduler/guardian/learner-side, so
+// a single etcd replica (no Raft fan-out ticking across the long
+// virtual timeline) loses no coverage.
+func evictionOptions(nodes int) Options {
+	return Options{Nodes: nodes, GPUsPerNode: 1, EtcdReplicas: 1}
+}
+
+// TestGracefulPreemptionResumesFromGraceCheckpoint is the protocol's
+// end-to-end acceptance test: a high-priority job preempts an actively
+// training low-priority job; instead of dying instantly the victim
+// takes an on-demand checkpoint inside the grace window, and after the
+// preemptor finishes it resumes from that checkpoint — losing (near)
+// zero images rather than up to a full CheckpointInterval.
+func TestGracefulPreemptionResumesFromGraceCheckpoint(t *testing.T) {
+	p := newTestPlatform(t, evictionOptions(1))
+	clk := p.Clock()
+	low := p.Client("gp-low")
+	ml := evictionManifest(t, p, "gp-low")
+	idLow, err := low.Submit(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := low.WaitForState(idLow, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(30 * time.Second) // accumulate un-checkpointed progress
+	p0 := learnerProgress(p, idLow)
+	if p0 == 0 {
+		t.Fatal("no training progress recorded before preemption")
+	}
+
+	hi := p.Client("gp-hi")
+	mh := testManifest(t, p, "gp-hi", 1)
+	mh.DatasetImages = 2000
+	mh.Priority = 100
+	idHi, err := hi.Submit(mh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hi.WaitForState(idHi, StateCompleted, 3*time.Hour); err != nil {
+		t.Fatalf("preemptor did not complete: %v", err)
+	}
+	if _, err := low.WaitForState(idLow, StateCompleted, 12*time.Hour); err != nil {
+		t.Fatalf("victim did not recover: %v", err)
+	}
+
+	logText, err := low.Logs(idLow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, resumed := evictionLogPoints(logText)
+	if ack == 0 {
+		t.Fatalf("no on-demand checkpoint in victim log:\n%s", logText)
+	}
+	if ack < p0 {
+		t.Fatalf("grace checkpoint at %d images lost progress (had %d at eviction)", ack, p0)
+	}
+	if resumed < ack {
+		t.Fatalf("resumed at %d images, grace checkpoint was %d — work lost", resumed, ack)
+	}
+}
+
+// TestDrainResumesFromGraceCheckpoint drains the node under an actively
+// training job: the drain flows through the gang scheduler as a
+// graceful eviction, the job redeploys on the surviving node, and it
+// resumes from the grace checkpoint with (near) zero lost images.
+func TestDrainResumesFromGraceCheckpoint(t *testing.T) {
+	p := newTestPlatform(t, evictionOptions(2))
+	clk := p.Clock()
+	client := p.Client("gd")
+	m := evictionManifest(t, p, "gd")
+	id, err := client.Submit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(30 * time.Second)
+	p0 := learnerProgress(p, id)
+	if p0 == 0 {
+		t.Fatal("no training progress recorded before drain")
+	}
+	learners := p.Cluster().Pods(map[string]string{"app": "dlaas-learner", "job": id})
+	if len(learners) != 1 {
+		t.Fatalf("learner pods = %d", len(learners))
+	}
+	node := learners[0].NodeName()
+
+	if err := p.Cluster().DrainNode(node); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitForState(id, StateCompleted, 12*time.Hour); err != nil {
+		t.Fatalf("drained job did not recover: %v", err)
+	}
+
+	logText, err := client.Logs(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, resumed := evictionLogPoints(logText)
+	if ack == 0 {
+		t.Fatalf("no on-demand checkpoint in drained job's log:\n%s", logText)
+	}
+	if resumed < ack || ack < p0 {
+		t.Fatalf("drain lost work: progress %d, grace checkpoint %d, resumed %d", p0, ack, resumed)
+	}
+	events, err := client.Events(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := false
+	for _, ev := range events {
+		if strings.Contains(ev.Note, "drain") {
+			drained = true
+		}
+	}
+	if !drained {
+		t.Fatalf("no drain eviction recorded in history: %v", events)
+	}
+}
+
+// TestWedgedLearnerForceEvictedAtDeadline: a grace period far shorter
+// than any checkpoint path models a wedged learner that never acks. The
+// deadline force-evicts it — the preemptor is never blocked — and the
+// victim still completes, from scratch (no grace checkpoint exists).
+func TestWedgedLearnerForceEvictedAtDeadline(t *testing.T) {
+	opts := evictionOptions(1)
+	opts.EvictionGracePeriod = time.Millisecond
+	p := newTestPlatform(t, opts)
+	clk := p.Clock()
+	low := p.Client("wl-low")
+	ml := evictionManifest(t, p, "wl-low")
+	ml.DatasetImages = 6000
+	// The wedge is deterministic by construction: the grace period sits
+	// far below the physical on-demand checkpoint floor (device stall +
+	// upload), so no learner can possibly ack in time.
+	g, _ := gpu.ByName("K80") // the platform default these jobs resolve to
+	if floor := learner.TrainingConfig(ml, g).EvictionCheckpointTime(); opts.EvictionGracePeriod >= floor {
+		t.Fatalf("grace %v is not below the checkpoint floor %v", opts.EvictionGracePeriod, floor)
+	}
+	idLow, err := low.Submit(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := low.WaitForState(idLow, StateProcessing, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	clk.Sleep(30 * time.Second)
+
+	hi := p.Client("wl-hi")
+	mh := testManifest(t, p, "wl-hi", 1)
+	mh.DatasetImages = 2000
+	mh.Priority = 100
+	idHi, err := hi.Submit(mh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hi.WaitForState(idHi, StateCompleted, 3*time.Hour); err != nil {
+		t.Fatalf("preemptor blocked by wedged victim: %v", err)
+	}
+	if _, err := low.WaitForState(idLow, StateCompleted, 12*time.Hour); err != nil {
+		t.Fatalf("force-evicted job did not recover: %v", err)
+	}
+
+	logText, err := low.Logs(idLow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, resumed := evictionLogPoints(logText)
+	if ack != 0 || resumed != 0 {
+		t.Fatalf("deadline eviction should not have checkpointed (ack=%d resumed=%d):\n%s", ack, resumed, logText)
+	}
+	events, err := low.Events(idLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preempted := false
+	for _, ev := range events {
+		if strings.Contains(ev.Note, "preempted") {
+			preempted = true
+		}
+	}
+	if !preempted {
+		t.Fatalf("no preemption recorded in history: %v", events)
 	}
 }
 
