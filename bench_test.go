@@ -198,6 +198,68 @@ func BenchmarkAblationEtcdReplication(b *testing.B) {
 	}
 }
 
+// BenchmarkEtcdReads compares the three read modes on the hottest path
+// the control plane has — etcd Get/Range — under a 3-node cluster with
+// a partitioned minority (the old leader, isolated mid-run, so the
+// stale-leader hazards are live). Reported per mode: Raft proposals per
+// read (read-index and serializable must come in at ~0; propose pays 1
+// each), virtual-time latency per read, and a correctness check that
+// every mode returns the acknowledged values. The read-index rows are
+// the payoff of serving reads from local MVCC snapshots behind a leader
+// read-index instead of full log round trips.
+func BenchmarkEtcdReads(b *testing.B) {
+	const keys = 16
+	for _, mode := range []string{etcd.ReadModeReadIndex, etcd.ReadModePropose, etcd.ReadModeSerializable} {
+		b.Run(mode, func(b *testing.B) {
+			clk := clock.NewSim()
+			defer clk.Close()
+			s := etcd.New(3, clk)
+			defer s.Close()
+			if err := s.SetReadMode(mode); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < keys; i++ {
+				if _, err := s.Put(fmt.Sprintf("/jobs/j1/learners/%d/status", i), "TRAINING"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Partition the current leader (a minority of one): the
+			// majority elects a successor, and reads must keep returning
+			// the acknowledged state — never the deposed leader's view.
+			if lead := s.LeaderID(); lead >= 0 {
+				s.PartitionNode(lead)
+			}
+			if _, err := s.Put("/jobs/j1/phase", "STORING"); err != nil {
+				b.Fatal(err) // commits on the majority side
+			}
+
+			props := s.Proposals()
+			start := clk.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, found, err := s.Get("/jobs/j1/phase")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !found || v != "STORING" {
+					b.Fatalf("mode %s read (%q,%v), want the acknowledged write", mode, v, found)
+				}
+				kvs, err := s.Range("/jobs/j1/learners/")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(kvs) != keys {
+					b.Fatalf("mode %s ranged %d keys, want %d", mode, len(kvs), keys)
+				}
+			}
+			b.StopTimer()
+			reads := float64(2 * b.N) // one Get + one Range per iteration
+			b.ReportMetric(float64(s.Proposals()-props)/reads, "proposals/read")
+			b.ReportMetric(float64(clk.Since(start).Microseconds())/reads/1000, "virtual-ms/read")
+		})
+	}
+}
+
 // BenchmarkSubmitPath measures the durable submission path: manifest
 // validation + MongoDB insert + LCM dispatch, end to end through the
 // load-balanced API.

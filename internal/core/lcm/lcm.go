@@ -224,10 +224,32 @@ func (s *Service) collectJob(rec types.JobRecord) {
 		}
 	}
 	guardian.Rollback(s.deps, rec.ID)
-	if kvs, err := s.deps.Etcd.Range(types.JobPrefix(rec.ID)); err == nil {
+	// Serializable (stale-tolerant) listing for the bulk reap: the
+	// deletes are idempotent and the backstop sweep re-runs, so a
+	// replica-local snapshot is enough to make progress, and it costs no
+	// consensus work.
+	if kvs, err := s.deps.Etcd.SerializableRange(types.JobPrefix(rec.ID)); err == nil {
 		for _, kv := range kvs {
 			_ = s.deps.Etcd.Delete(kv.Key)
 		}
+	}
+	// The done-latch, though, demands a linearizable empty observation
+	// (a read-index Range — still zero log entries): a stale-empty local
+	// listing must not end the reap while committed keys exist on
+	// replicas that have yet to catch up. Without a quorum the confirm
+	// fails and the backstop keeps sweeping — availability degrades to
+	// retry, never to a leak.
+	confirm, err := s.deps.Etcd.Range(types.JobPrefix(rec.ID))
+	if err != nil {
+		return
+	}
+	if len(confirm) > 0 {
+		// Stragglers the stale listing missed: reap them and let the
+		// next sweep confirm.
+		for _, kv := range confirm {
+			_ = s.deps.Etcd.Delete(kv.Key)
+		}
+		return
 	}
 	s.mu.Lock()
 	s.gcDone[rec.ID] = true

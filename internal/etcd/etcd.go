@@ -5,9 +5,15 @@
 // co-ordinate between the controller and LCM/Guardian... ETCD itself is
 // replicated (3-way), and uses the Raft consensus protocol").
 //
-// Every operation — including reads — is sequenced through the Raft log,
-// so results are linearizable by construction. Watches observe the apply
-// stream and survive the crash of any minority of nodes.
+// Writes are sequenced through the Raft log. Reads are served, in the
+// default read-index mode, from a local replica's MVCC snapshot after
+// the leader confirms its authority with a quorum heartbeat round
+// (raft.Node.ReadIndex) and the replica's applied floor catches up —
+// linearizable results with zero log entries per read. SetReadMode
+// selects the propose escape hatch (reads as full proposals, the old
+// behavior) or serializable mode (stale-tolerant local reads that need
+// no quorum). Watches observe the apply stream and survive the crash of
+// any minority of nodes.
 //
 // Since the metadata-plane refactor this package is a facade over the
 // sharded MVCC engine in internal/store: each replica's deterministic
@@ -146,8 +152,38 @@ type result struct {
 	events []Event
 }
 
+// Read modes selectable via SetReadMode (Options.ReadMode at the
+// platform layer).
+const (
+	// ReadModeReadIndex (the default) serves Get/Range/read-only Txn
+	// from a local replica's MVCC snapshot after a leader read-index
+	// round: linearizable, zero log entries per read.
+	ReadModeReadIndex = "readindex"
+	// ReadModePropose sequences every read through the Raft log as a
+	// full proposal — the pre-read-index behavior, kept as the A/B
+	// escape hatch.
+	ReadModePropose = "propose"
+	// ReadModeSerializable answers from the freshest live replica's
+	// local state with no leadership round at all: bounded staleness
+	// (the replica may lag acknowledged writes), never wrongness (only
+	// committed entries are applied). Stays available without a quorum.
+	ReadModeSerializable = "serializable"
+)
+
 // defaultRequestTimeout bounds how long a client op waits for commit.
 const defaultRequestTimeout = 5 * time.Second
+
+// proposeWait is how long one proposal waits for its apply before
+// re-proposing (leadership may have changed and the entry been lost).
+const proposeWait = 500 * time.Millisecond
+
+// readIndexWait bounds one leader read-index round; the read path
+// retries rounds until the request deadline.
+const readIndexWait = 500 * time.Millisecond
+
+// retryPause is the backoff between read/propose retries while the
+// cluster has no reachable leader.
+const retryPause = 20 * time.Millisecond
 
 // defaultCompactEvery is how many applied entries a node accumulates
 // before snapshotting its state machine and compacting the Raft log.
@@ -163,6 +199,13 @@ type waiterStripe struct {
 	m  map[string]chan result
 }
 
+// opCounter tallies one operation kind, successes and failures apart:
+// a timed-out Range must not inflate the watch-vs-poll comparison.
+type opCounter struct {
+	ok   atomic.Uint64
+	fail atomic.Uint64
+}
+
 // Store is a handle to the replicated KV cluster.
 type Store struct {
 	clk     clock.Clock
@@ -174,11 +217,16 @@ type Store struct {
 	reqSeq       atomic.Uint64
 	closed       atomic.Bool
 	stopCh       chan struct{}
+	readMode     atomic.Value // string; one of the ReadMode constants
 
 	// Client-operation counters, split by kind: the control-plane
 	// benchmarks compare watch- vs poll-driven consumers by how many
 	// Range scans they cost per job.
-	opRanges, opPuts, opGets, opDeletes, opCAS, opTxns, opWatches atomic.Uint64
+	cRange, cPut, cGet, cDelete, cCAS, cTxn, cWatch opCounter
+
+	// proposals counts entries actually submitted to the Raft log — the
+	// numerator of the proposals-per-read comparison across read modes.
+	proposals atomic.Uint64
 
 	mtr atomic.Pointer[metrics.Registry]
 
@@ -210,6 +258,7 @@ func NewSharded(n int, clk clock.Clock, shards int) *Store {
 		stops:   make(map[int]chan struct{}, n),
 	}
 	s.compactEvery.Store(defaultCompactEvery)
+	s.readMode.Store(ReadModeReadIndex)
 	for i := range s.waiters {
 		s.waiters[i].m = make(map[string]chan result)
 	}
@@ -217,6 +266,26 @@ func NewSharded(n int, clk clock.Clock, shards int) *Store {
 		s.startApplier(id)
 	}
 	return s
+}
+
+// SetReadMode selects how Get, Range and read-only Txn are served
+// ("" selects the default, ReadModeReadIndex). Writes always go through
+// the Raft log regardless of mode.
+func (s *Store) SetReadMode(mode string) error {
+	switch mode {
+	case "":
+		mode = ReadModeReadIndex
+	case ReadModeReadIndex, ReadModePropose, ReadModeSerializable:
+	default:
+		return fmt.Errorf("etcd: unknown read mode %q", mode)
+	}
+	s.readMode.Store(mode)
+	return nil
+}
+
+// ReadMode reports the store's current read mode.
+func (s *Store) ReadMode() string {
+	return s.readMode.Load().(string)
 }
 
 // SetCompactEvery overrides the per-node log-compaction threshold
@@ -261,30 +330,57 @@ func (s *Store) Instrument(reg *metrics.Registry) {
 	}
 }
 
-// countOp tallies one client operation of the given kind.
-func (s *Store) countOp(kind string, ctr *atomic.Uint64) {
-	ctr.Add(1)
+// finishOp tallies one completed client operation of the given kind.
+// Successes and failures are counted apart — counting before the
+// attempt inflated the watch-vs-poll RangeOps comparison with ops that
+// then timed out. Operations that went through the log but lost their
+// application-level race (CAS conflict, Txn else-branch) completed
+// successfully for accounting purposes.
+func (s *Store) finishOp(kind string, c *opCounter, err error) {
+	if err != nil {
+		c.fail.Add(1)
+		if reg := s.mtr.Load(); reg != nil {
+			reg.Inc("etcd_client_op_fails", kind)
+		}
+		return
+	}
+	c.ok.Add(1)
 	if reg := s.mtr.Load(); reg != nil {
 		reg.Inc("etcd_client_ops", kind)
 	}
 }
 
-// RangeOps reports how many Range scans clients have issued — the
+// RangeOps reports how many Range scans clients have completed — the
 // denominator of the watch-vs-poll control-plane comparison.
-func (s *Store) RangeOps() uint64 { return s.opRanges.Load() }
+func (s *Store) RangeOps() uint64 { return s.cRange.ok.Load() }
 
-// OpCounts reports every client-operation counter by kind.
+// Proposals reports how many commands were submitted to the Raft log.
+// Read-index reads leave it untouched; propose-mode reads cost one (or
+// more, on leadership churn) per operation.
+func (s *Store) Proposals() uint64 { return s.proposals.Load() }
+
+// OpCounts reports every client-operation counter by kind; "<kind>" is
+// completed operations, "<kind>_fail" timed-out or rejected ones.
 func (s *Store) OpCounts() map[string]uint64 {
-	return map[string]uint64{
-		"range":  s.opRanges.Load(),
-		"put":    s.opPuts.Load(),
-		"get":    s.opGets.Load(),
-		"delete": s.opDeletes.Load(),
-		"cas":    s.opCAS.Load(),
-		"txn":    s.opTxns.Load(),
-		"watch":  s.opWatches.Load(),
+	out := make(map[string]uint64, 14)
+	for kind, c := range map[string]*opCounter{
+		"range": &s.cRange, "put": &s.cPut, "get": &s.cGet,
+		"delete": &s.cDelete, "cas": &s.cCAS, "txn": &s.cTxn, "watch": &s.cWatch,
+	} {
+		out[kind] = c.ok.Load()
+		out[kind+"_fail"] = c.fail.Load()
 	}
+	return out
 }
+
+// PartitionNode isolates raft node id from the rest of the cluster
+// (messages both ways are dropped) until HealNode. Unlike CrashNode the
+// node and its applier keep running — this is the knife the stale-leader
+// and linearizability chaos tests cut with.
+func (s *Store) PartitionNode(id int) { s.cluster.Transport().Partition(id) }
+
+// HealNode reconnects a partitioned node.
+func (s *Store) HealNode(id int) { s.cluster.Transport().Heal(id) }
 
 // startApplier builds a state machine for node id — restored from the
 // node's persisted snapshot if it has one — and pumps its apply channel,
@@ -299,7 +395,7 @@ func (s *Store) startApplier(id int) {
 		sm.instrument(reg, fmt.Sprintf("etcd-node%d", id))
 	}
 	if snap, idx := node.Snapshot(); idx > 0 {
-		sm.restore(snap)
+		sm.restore(snap, idx)
 		s.hub.Publish(idx, nil) // advance the delivery cursor past the image
 	}
 	stop := make(chan struct{})
@@ -316,7 +412,7 @@ func (s *Store) startApplier(id int) {
 			case a := <-node.ApplyCh():
 				if a.IsSnapshot {
 					// The leader fast-forwarded this lagging node.
-					sm.restore(a.Snapshot)
+					sm.restore(a.Snapshot, a.SnapIndex)
 					s.hub.Publish(a.SnapIndex, nil)
 					applied = 0
 					continue
@@ -337,9 +433,21 @@ func (s *Store) startApplier(id int) {
 // whose revision cursor delivers each log index exactly once no matter
 // how many replicas apply it.
 func (s *Store) applyEntry(sm *stateMachine, e raft.Entry) {
+	if len(e.Cmd) == 0 {
+		// Raft-internal no-op (the read-index term barrier): it still
+		// occupies a log index, so advance the applied floor — read-index
+		// waits stall below it otherwise — and the hub's delivery cursor.
+		sm.advance(e.Index)
+		s.hub.Publish(e.Index, nil)
+		return
+	}
 	var cmd command
 	if err := json.Unmarshal(e.Cmd, &cmd); err != nil {
-		return // corrupt entry; deterministic no-op on every node
+		// Corrupt entry: a deterministic no-op on every node, but its
+		// index must not leave a hole under the floor or the cursor.
+		sm.advance(e.Index)
+		s.hub.Publish(e.Index, nil)
+		return
 	}
 	res := sm.apply(e.Index, cmd)
 
@@ -383,29 +491,22 @@ func (s *Store) takeWaiter(reqID string) (chan result, bool) {
 	return ch, ok
 }
 
-func (s *Store) waiterLive(reqID string) bool {
-	st := &s.waiters[stripeFor(reqID)]
-	st.mu.Lock()
-	_, ok := st.m[reqID]
-	st.mu.Unlock()
-	return ok
-}
-
 // Put stores value under key.
 func (s *Store) Put(key, value string) (rev uint64, err error) {
-	s.countOp("put", &s.opPuts)
 	res, err := s.propose(command{Op: opPut, Key: key, Value: value})
+	s.finishOp("put", &s.cPut, err)
 	if err != nil {
 		return 0, fmt.Errorf("put %q: %w", key, err)
 	}
 	return res.rev, nil
 }
 
-// Get returns the value stored under key. found reports existence.
-// The read is linearizable: it is sequenced through the Raft log.
+// Get returns the value stored under key. found reports existence. In
+// the default read-index mode (and in propose mode) the read is
+// linearizable; in serializable mode it may lag acknowledged writes.
 func (s *Store) Get(key string) (value string, found bool, err error) {
-	s.countOp("get", &s.opGets)
-	res, err := s.propose(command{Op: opGet, Key: key})
+	res, err := s.read(s.ReadMode(), command{Op: opGet, Key: key})
+	s.finishOp("get", &s.cGet, err)
 	if err != nil {
 		return "", false, fmt.Errorf("get %q: %w", key, err)
 	}
@@ -414,8 +515,9 @@ func (s *Store) Get(key string) (value string, found bool, err error) {
 
 // Delete removes key. It is not an error to delete a missing key.
 func (s *Store) Delete(key string) error {
-	s.countOp("delete", &s.opDeletes)
-	if _, err := s.propose(command{Op: opDelete, Key: key}); err != nil {
+	_, err := s.propose(command{Op: opDelete, Key: key})
+	s.finishOp("delete", &s.cDelete, err)
+	if err != nil {
 		return fmt.Errorf("delete %q: %w", key, err)
 	}
 	return nil
@@ -425,10 +527,10 @@ func (s *Store) Delete(key string) error {
 // current value equals prev (prevExists=false means "key must not
 // exist"). Returns ErrCASFailed when the precondition does not hold.
 func (s *Store) CompareAndSwap(key, prev string, prevExists bool, newValue string) error {
-	s.countOp("cas", &s.opCAS)
 	res, err := s.propose(command{
 		Op: opCAS, Key: key, Value: newValue, Prev: prev, PrevExists: prevExists,
 	})
+	s.finishOp("cas", &s.cCAS, err)
 	if err != nil {
 		return fmt.Errorf("cas %q: %w", key, err)
 	}
@@ -441,10 +543,18 @@ func (s *Store) CompareAndSwap(key, prev string, prevExists bool, newValue strin
 // Txn atomically evaluates cmps against the current state and applies
 // then (all guards hold) or orElse (any guard fails) in a single log
 // entry: the branch's mutations commit at one revision, and watchers see
-// them together. succeeded reports which branch ran.
+// them together. succeeded reports which branch ran. A read-only
+// transaction (both branches empty) is served through the store's read
+// mode — guard evaluation against one local snapshot revision, no log
+// entry — since there is nothing to sequence.
 func (s *Store) Txn(cmps []Cmp, then, orElse []TxnOp) (succeeded bool, rev uint64, err error) {
-	s.countOp("txn", &s.opTxns)
-	res, err := s.propose(command{Op: opTxn, Cmps: cmps, Then: then, Else: orElse})
+	var res result
+	if mode := s.ReadMode(); mode != ReadModePropose && len(then) == 0 && len(orElse) == 0 {
+		res, err = s.read(mode, command{Op: opTxn, Cmps: cmps})
+	} else {
+		res, err = s.propose(command{Op: opTxn, Cmps: cmps, Then: then, Else: orElse})
+	}
+	s.finishOp("txn", &s.cTxn, err)
 	if err != nil {
 		return false, 0, fmt.Errorf("txn: %w", err)
 	}
@@ -453,8 +563,22 @@ func (s *Store) Txn(cmps []Cmp, then, orElse []TxnOp) (succeeded bool, rev uint6
 
 // Range returns all keys under prefix, sorted by key.
 func (s *Store) Range(prefix string) ([]KV, error) {
-	s.countOp("range", &s.opRanges)
-	res, err := s.propose(command{Op: opRange, Key: prefix})
+	res, err := s.read(s.ReadMode(), command{Op: opRange, Key: prefix})
+	s.finishOp("range", &s.cRange, err)
+	if err != nil {
+		return nil, fmt.Errorf("range %q: %w", prefix, err)
+	}
+	return res.kvs, nil
+}
+
+// SerializableRange is Range forced through serializable mode whatever
+// the store default: a stale-tolerant local read that costs no
+// consensus work and stays available without a quorum. Consumers that
+// re-run on a backstop cadence against idempotent actions (the LCM's GC
+// sweep) opt into it.
+func (s *Store) SerializableRange(prefix string) ([]KV, error) {
+	res, err := s.read(ReadModeSerializable, command{Op: opRange, Key: prefix})
+	s.finishOp("range", &s.cRange, err)
 	if err != nil {
 		return nil, fmt.Errorf("range %q: %w", prefix, err)
 	}
@@ -465,7 +589,7 @@ func (s *Store) Range(prefix string) ([]KV, error) {
 // subscription. Events begin with the first revision applied after the
 // call.
 func (s *Store) Watch(prefix string) (events <-chan Event, cancel func()) {
-	s.countOp("watch", &s.opWatches)
+	s.finishOp("watch", &s.cWatch, nil)
 	return s.hub.Watch(prefix)
 }
 
@@ -480,10 +604,15 @@ func (s *Store) Watch(prefix string) (events <-chan Event, cancel func()) {
 // the Guardian uses to pick up exactly where a crashed predecessor
 // left off.
 func (s *Store) WatchFrom(prefix string, startRev uint64) (<-chan Event, func(), error) {
+	ch, cancel, err := s.watchFrom(prefix, startRev)
+	s.finishOp("watch", &s.cWatch, err)
+	return ch, cancel, err
+}
+
+func (s *Store) watchFrom(prefix string, startRev uint64) (<-chan Event, func(), error) {
 	if s.closed.Load() {
 		return nil, nil, ErrClosed
 	}
-	s.countOp("watch", &s.opWatches)
 	ch, cancel, cursor := s.hub.WatchCursor(prefix)
 	if startRev == cursor {
 		return ch, cancel, nil
@@ -543,7 +672,195 @@ func (s *Store) replicaAt(rev uint64) *stateMachine {
 	}
 }
 
+// read serves a read-only command (opGet, opRange, or an opTxn with no
+// mutations) in the given read mode.
+func (s *Store) read(mode string, cmd command) (result, error) {
+	switch mode {
+	case ReadModePropose:
+		return s.propose(cmd)
+	case ReadModeSerializable:
+		return s.serializableRead(cmd)
+	default:
+		return s.readIndexRead(cmd)
+	}
+}
+
+// readIndexRead serves cmd linearizably without a log entry: obtain a
+// read index from the leader (ReadIndex confirms leadership with a
+// quorum heartbeat round, so a deposed leader can never answer), wait
+// for the contacted node's state machine to apply through it, then read
+// the local MVCC snapshot.
+func (s *Store) readIndexRead(cmd command) (result, error) {
+	deadline := s.clk.Now().Add(s.timeout)
+	for {
+		if s.closed.Load() {
+			return result{}, ErrClosed
+		}
+		node := s.readNode()
+		if node == nil {
+			if !s.pause(deadline) {
+				return result{}, ErrTimeout
+			}
+			continue
+		}
+		idx, err := node.ReadIndex(readIndexWait)
+		if err != nil {
+			// No leader, deposed mid-round, or no quorum answered: retry
+			// against whoever leads next, bounded by the deadline.
+			if !s.pause(deadline) {
+				return result{}, ErrTimeout
+			}
+			continue
+		}
+		sm := s.replica(node.ID())
+		if sm == nil {
+			// The node crashed after answering; ask another.
+			if !s.pause(deadline) {
+				return result{}, ErrTimeout
+			}
+			continue
+		}
+		eng, ok := s.waitApplied(sm, idx, deadline)
+		if !ok {
+			if s.closed.Load() {
+				return result{}, ErrClosed
+			}
+			return result{}, ErrTimeout
+		}
+		return readLocal(eng, cmd), nil
+	}
+}
+
+// serializableRead serves cmd from the freshest live replica's local
+// state, no leadership round: bounded staleness, never wrongness, and
+// it stays available when the cluster has no quorum.
+func (s *Store) serializableRead(cmd command) (result, error) {
+	if s.closed.Load() {
+		return result{}, ErrClosed
+	}
+	var best *store.Engine
+	var bestFloor uint64
+	s.mu.Lock()
+	for _, sm := range s.sms {
+		eng := sm.engine()
+		if f := eng.Snapshot(); best == nil || f > bestFloor {
+			best, bestFloor = eng, f
+		}
+	}
+	s.mu.Unlock()
+	if best == nil {
+		return result{}, ErrTimeout // every replica crashed
+	}
+	return readLocal(best, cmd), nil
+}
+
+// readLocal evaluates a read-only command against eng's applied state.
+// Multi-key reads (opRange, guard evaluation) run at the engine's
+// current floor — a fully-installed cut, since ApplyAt only raises the
+// floor after a revision's ops are all in place — so a concurrently
+// applying transaction is seen whole or not at all.
+func readLocal(eng *store.Engine, cmd command) result {
+	rev := eng.Snapshot()
+	res := result{rev: rev}
+	switch cmd.Op {
+	case opGet:
+		if v, _, ok := eng.Get(cmd.Key); ok {
+			res.val, _ = v.(string)
+			res.found = true
+		}
+	case opRange:
+		kvs, err := eng.ScanAt(cmd.Key, rev)
+		if err != nil {
+			// rev fell below a compaction floor between Snapshot and the
+			// scan (not reachable in facade engines, which never compact
+			// in place): fall forward to the newest versions.
+			kvs = eng.ScanLatest(cmd.Key)
+		}
+		for _, kv := range kvs {
+			val, _ := kv.Value.(string)
+			res.kvs = append(res.kvs, KV{Key: kv.Key, Value: val, Rev: kv.Rev})
+		}
+	case opTxn:
+		res.ok = true
+		for _, c := range cmd.Cmps {
+			v, _, exists, err := eng.GetAt(c.Key, rev)
+			if err != nil {
+				v, _, exists = eng.Get(c.Key)
+			}
+			sv, _ := v.(string)
+			if exists != c.PrevExists || (exists && sv != c.Prev) {
+				res.ok = false
+				break
+			}
+		}
+	}
+	return res
+}
+
+// readNode picks the node to ask for a read index: the leader when one
+// is visible, otherwise any live node, whose ReadIndex forwards to the
+// leader it believes in.
+func (s *Store) readNode() *raft.Node {
+	if l := s.cluster.Leader(); l != nil {
+		return l
+	}
+	for _, id := range s.cluster.IDs() {
+		if n := s.cluster.Node(id); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// replica returns node id's state machine, or nil when crashed.
+func (s *Store) replica(id int) *stateMachine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sms[id]
+}
+
+// waitAppliedSlice bounds one wait on a replica's applied floor before
+// re-fetching its engine (a snapshot restore swaps the engine, and the
+// old one's floor stops moving).
+const waitAppliedSlice = 25 * time.Millisecond
+
+// waitApplied blocks until sm has applied the log through idx and
+// returns the engine that reached it. Each slice deregisters its waiter
+// before re-fetching the engine, so abandoned waits don't accumulate on
+// a lagging replica.
+func (s *Store) waitApplied(sm *stateMachine, idx uint64, deadline time.Time) (*store.Engine, bool) {
+	for {
+		eng := sm.engine()
+		ch, cancelWait := eng.WaitApplied(idx)
+		t := s.clk.NewTimer(waitAppliedSlice)
+		select {
+		case <-ch:
+			t.Stop()
+			return eng, true
+		case <-t.C():
+			cancelWait()
+			if s.closed.Load() || !s.clk.Now().Before(deadline) {
+				return nil, false
+			}
+		case <-s.stopCh:
+			t.Stop()
+			cancelWait()
+			return nil, false
+		}
+	}
+}
+
+// pause sleeps the retry backoff and reports whether the deadline still
+// allows another attempt.
+func (s *Store) pause(deadline time.Time) bool {
+	s.clk.Sleep(retryPause)
+	return s.clk.Now().Before(deadline)
+}
+
 // propose routes cmd through the Raft log and waits for its application.
+// The wait is event-driven — a select on the waiter channel and a clock
+// timer — rather than a poll: the old 5 ms busy-loop put a virtual-
+// latency floor under every write and burned sim-clock cycles.
 func (s *Store) propose(cmd command) (result, error) {
 	if s.closed.Load() {
 		return result{}, ErrClosed
@@ -562,35 +879,26 @@ func (s *Store) propose(cmd command) (result, error) {
 	for s.clk.Now().Before(deadline) {
 		leader := s.cluster.Leader()
 		if leader == nil {
-			s.clk.Sleep(20 * time.Millisecond)
+			s.clk.Sleep(retryPause)
 			continue
 		}
 		if _, _, err := leader.Propose(payload); err != nil {
-			s.clk.Sleep(20 * time.Millisecond)
+			s.clk.Sleep(retryPause)
 			continue
 		}
-		// Wait for apply, but re-propose if leadership changes and the
-		// entry is lost (bounded by the overall deadline).
-		waitUntil := s.clk.Now().Add(500 * time.Millisecond)
-		for s.clk.Now().Before(waitUntil) {
-			select {
-			case res := <-ch:
-				return res, nil
-			default:
-			}
-			s.clk.Sleep(5 * time.Millisecond)
-		}
-		// Not applied yet: either still replicating or lost. Keep the
-		// waiter and retry the propose; dedupe in the state machine
-		// makes retries idempotent.
-		if !s.waiterLive(cmd.ReqID) {
-			// Applied while we were deciding to retry.
-			select {
-			case res := <-ch:
-				return res, nil
-			default:
-				return result{}, ErrTimeout
-			}
+		s.proposals.Add(1)
+		// Wait for apply; on timeout re-propose, since leadership may
+		// have changed and the entry been lost (bounded by the overall
+		// deadline; dedupe in the state machine makes retries idempotent).
+		t := s.clk.NewTimer(proposeWait)
+		select {
+		case res := <-ch:
+			t.Stop()
+			return res, nil
+		case <-t.C():
+		case <-s.stopCh:
+			t.Stop()
+			return result{}, ErrClosed
 		}
 	}
 	select {
@@ -658,6 +966,14 @@ func (m *stateMachine) engine() *store.Engine {
 	return m.eng
 }
 
+// advance raises the replica's applied floor past an index that carries
+// no state change (raft no-ops, corrupt entries).
+func (m *stateMachine) advance(idx uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = m.eng.AdvanceFloor(idx)
+}
+
 // instrument hooks the replica's engine into the metrics registry and
 // remembers the hookup so restore re-applies it to the fresh engine.
 func (m *stateMachine) instrument(reg *metrics.Registry, name string) {
@@ -706,8 +1022,12 @@ func (m *stateMachine) serialize() []byte {
 	return raw
 }
 
-// restore replaces the state machine with a serialized image.
-func (m *stateMachine) restore(raw []byte) {
+// restore replaces the state machine with a serialized image covering
+// the log through snapIndex. The fresh engine's floor starts at
+// snapIndex even when the image's highest key revision is older
+// (trailing entries may have been deletes or reads): a read-index wait
+// against this replica must see the whole snapshot as applied.
+func (m *stateMachine) restore(raw []byte, snapIndex uint64) {
 	var img smSnapshot
 	if err := json.Unmarshal(raw, &img); err != nil {
 		return // corrupt snapshot: keep current state
@@ -719,7 +1039,7 @@ func (m *stateMachine) restore(raw []byte) {
 		kvs = append(kvs, store.KV{Key: k, Value: kv.Value, Rev: kv.Rev})
 	}
 	eng := store.NewEngine(store.Config{Shards: m.eng.Shards(), ExternalRevs: true})
-	_ = eng.Import(kvs, 0) // cannot fail: the engine is external-revs
+	_ = eng.Import(kvs, snapIndex) // cannot fail: the engine is external-revs
 	if m.mtr != nil {
 		eng.Instrument(m.mtr, m.mtrName)
 	}
@@ -743,9 +1063,6 @@ func (m *stateMachine) apply(idx uint64, cmd command) result {
 		}
 	}
 	m.dedup[cmd.ReqID] = idx
-	// Track every applied index, including pure reads: the WatchFrom
-	// backfill compares this floor against the hub's delivery cursor.
-	_ = m.eng.AdvanceFloor(idx)
 
 	res := result{rev: idx}
 	applyOps := func(ops []store.Op) {
@@ -806,5 +1123,13 @@ func (m *stateMachine) apply(idx uint64, cmd command) result {
 			res.kvs = append(res.kvs, KV{Key: kv.Key, Value: val, Rev: kv.Rev})
 		}
 	}
+	// Raise the applied floor only now, after any mutation is installed
+	// (ApplyAt raises it itself, post-install; this covers reads, failed
+	// CAS and empty branches). Raising it before the write would let a
+	// WaitApplied reader wake at this index and read the pre-write state
+	// — a stale read after an acknowledged write. The WatchFrom backfill
+	// also compares this floor against the hub's delivery cursor, so
+	// every applied index must reach it.
+	_ = m.eng.AdvanceFloor(idx)
 	return res
 }

@@ -85,15 +85,25 @@ func (c *Cluster) Restart(id int) *Node {
 }
 
 // Leader returns the current leader node, or nil if none is known.
+// During a partition a deposed leader may still believe it leads in a
+// stale term; the node leading in the highest term is the real one, so
+// ties in role are broken by term — returning the first node found in
+// Leader state would route proposals (and any read path) to the stale
+// one with map-iteration luck.
 func (c *Cluster) Leader() *Node {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var best *Node
+	var bestTerm uint64
 	for _, n := range c.nodes {
-		if n != nil && n.State() == Leader {
-			return n
+		if n == nil {
+			continue
+		}
+		if st, term := n.Status(); st == Leader && (best == nil || term > bestTerm) {
+			best, bestTerm = n, term
 		}
 	}
-	return nil
+	return best
 }
 
 // WaitLeader blocks until some node is leader or the deadline (in clock

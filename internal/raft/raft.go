@@ -70,6 +70,14 @@ var ErrNotLeader = errors.New("raft: not leader")
 // ErrStopped is returned when the node has been crashed or shut down.
 var ErrStopped = errors.New("raft: node stopped")
 
+// ErrNoLeader is returned by ReadIndex on a node that knows no leader to
+// forward to.
+var ErrNoLeader = errors.New("raft: no leader known")
+
+// ErrReadTimeout is returned when a ReadIndex round did not gather a
+// quorum of heartbeat acks in time (partitioned or deposed leader).
+var ErrReadTimeout = errors.New("raft: read index timed out")
+
 // Config holds tunables shared by the nodes of one cluster.
 type Config struct {
 	// Clock drives all timeouts.
@@ -119,6 +127,18 @@ type Node struct {
 	matchIndex map[int]uint64
 	votes      map[int]bool
 
+	// Read-index state. hbSeq numbers the leader's heartbeat rounds so a
+	// pending read only counts acks sent for rounds at or after its
+	// registration; pendingReads are the leadership-confirmation rounds in
+	// flight. barrierTerm remembers the term a no-op barrier entry was
+	// already proposed for. On followers, readWaiters holds forwarded
+	// ReadIndex calls awaiting the leader's answer.
+	hbSeq        uint64
+	pendingReads []*pendingRead
+	barrierTerm  uint64
+	readSeq      uint64
+	readWaiters  map[uint64]chan readIndexResult
+
 	rng           *rand.Rand
 	electionTimer clock.Timer
 	heartbeatTick clock.Ticker
@@ -154,6 +174,9 @@ type (
 		PrevLogTerm  uint64
 		Entries      []Entry
 		LeaderCommit uint64
+		// Seq is the leader's heartbeat-round number; the response echoes
+		// it so ReadIndex rounds can tell which acks postdate them.
+		Seq uint64
 	}
 	appendEntriesResp struct {
 		Term       uint64
@@ -161,6 +184,19 @@ type (
 		MatchIndex uint64
 		// ConflictIndex lets the leader back up nextIndex quickly.
 		ConflictIndex uint64
+		// Seq echoes appendEntries.Seq (0 for snapshot-install acks).
+		Seq uint64
+	}
+	// readIndexReq forwards a follower's ReadIndex call to the leader.
+	readIndexReq struct {
+		ID uint64
+	}
+	// readIndexResp answers a forwarded ReadIndex (OK=false: the asked
+	// node is not leader, or lost leadership before confirming).
+	readIndexResp struct {
+		ID    uint64
+		Index uint64
+		OK    bool
 	}
 	installSnapshot struct {
 		Term      uint64
@@ -171,25 +207,49 @@ type (
 	}
 )
 
+// readIndexResult is what a ReadIndex call resolves to.
+type readIndexResult struct {
+	index uint64
+	err   error
+}
+
+// remoteRead identifies a follower's forwarded ReadIndex awaiting this
+// leader's confirmation.
+type remoteRead struct {
+	node int
+	id   uint64
+}
+
+// pendingRead is one leadership-confirmation round: the read completes
+// with the leader's commit index once a quorum has acked a heartbeat
+// round >= seq and the commit index has reached the leader's own term.
+type pendingRead struct {
+	seq    uint64
+	acks   map[int]bool
+	local  []chan readIndexResult
+	remote []remoteRead
+}
+
 // startNode boots a node from its persisted storage and begins its run
 // loop. Called by Cluster.
 func startNode(id int, peers []int, cfg Config, store *MemoryStorage, trans *Transport) *Node {
 	n := &Node{
-		id:         id,
-		peers:      peers,
-		cfg:        cfg,
-		store:      store,
-		trans:      trans,
-		state:      Follower,
-		votedFor:   -1,
-		leaderID:   -1,
-		nextIndex:  make(map[int]uint64),
-		matchIndex: make(map[int]uint64),
-		rng:        rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
-		applyCh:    make(chan Apply, 256),
-		inbox:      make(chan envelope, 256),
-		stopCh:     make(chan struct{}),
-		done:       make(chan struct{}),
+		id:          id,
+		peers:       peers,
+		cfg:         cfg,
+		store:       store,
+		trans:       trans,
+		state:       Follower,
+		votedFor:    -1,
+		leaderID:    -1,
+		nextIndex:   make(map[int]uint64),
+		matchIndex:  make(map[int]uint64),
+		readWaiters: make(map[uint64]chan readIndexResult),
+		rng:         rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		applyCh:     make(chan Apply, 256),
+		inbox:       make(chan envelope, 256),
+		stopCh:      make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	// Recover persisted state. Entries at or below the snapshot index
 	// were compacted away; applying resumes after the snapshot.
@@ -236,11 +296,186 @@ func (n *Node) Term() uint64 {
 	return n.currentTerm
 }
 
+// Status returns the node's current role and term under one lock
+// acquisition, so callers comparing leaders across nodes cannot observe
+// a role from one term paired with another term's number.
+func (n *Node) Status() (State, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state, n.currentTerm
+}
+
 // CommitIndex returns the highest committed log index.
 func (n *Node) CommitIndex() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.commitIndex
+}
+
+// ReadIndex runs the Raft read-index protocol (§6.4 of Ongaro's thesis)
+// and returns an index I such that every write acknowledged before the
+// call has log index <= I. A caller that waits for its local state
+// machine to apply through I and then reads locally gets a linearizable
+// read with zero log entries.
+//
+// On the leader, the call records the commit index, confirms leadership
+// with a round of heartbeat acks from a quorum (so a deposed leader in a
+// stale term can never serve a stale index), and returns it; a leader
+// that has not yet committed an entry in its own term first commits a
+// no-op barrier, because its commit index may lag writes acknowledged by
+// its predecessor. Followers forward to the leader they believe in.
+//
+// It fails with ErrNoLeader when there is no leader to ask, ErrNotLeader
+// when leadership was lost mid-round, and ErrReadTimeout when no quorum
+// answered within timeout (non-positive timeout defaults to the election
+// timeout bound).
+func (n *Node) ReadIndex(timeout time.Duration) (uint64, error) {
+	if timeout <= 0 {
+		timeout = n.cfg.ElectionTimeoutMax
+	}
+	ch := make(chan readIndexResult, 1)
+	var forwarded uint64
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, ErrStopped
+	}
+	if n.state == Leader {
+		n.startReadLocked(ch, nil)
+	} else {
+		leader := n.leaderID
+		if leader < 0 || leader == n.id {
+			n.mu.Unlock()
+			return 0, ErrNoLeader
+		}
+		n.readSeq++
+		forwarded = n.readSeq
+		n.readWaiters[forwarded] = ch
+		n.trans.send(n.id, leader, readIndexReq{ID: forwarded})
+	}
+	n.mu.Unlock()
+
+	timer := n.cfg.Clock.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.index, r.err
+	case <-timer.C():
+		if forwarded != 0 {
+			n.mu.Lock()
+			delete(n.readWaiters, forwarded)
+			n.mu.Unlock()
+		}
+		// The round may have completed while the timer fired.
+		select {
+		case r := <-ch:
+			return r.index, r.err
+		default:
+		}
+		return 0, ErrReadTimeout
+	case <-n.stopCh:
+		return 0, ErrStopped
+	}
+}
+
+// startReadLocked registers one read-index round on the leader and
+// kicks off the heartbeat broadcast whose acks confirm it.
+func (n *Node) startReadLocked(local chan readIndexResult, remote *remoteRead) {
+	// A freshly elected leader may not know its predecessor's full commit
+	// index (§5.4.2 only advances commitment for current-term entries), so
+	// its commit index could understate acknowledged writes. Commit a
+	// no-op barrier once per term before serving any read index.
+	if n.termAtLocked(n.commitIndex) != n.currentTerm && n.barrierTerm != n.currentTerm {
+		n.barrierTerm = n.currentTerm
+		e := Entry{Index: n.lastIndexLocked() + 1, Term: n.currentTerm}
+		n.log = append(n.log, e)
+		n.persistLocked()
+		n.matchIndex[n.id] = e.Index
+	}
+	pr := &pendingRead{seq: n.hbSeq + 1, acks: make(map[int]bool)}
+	if local != nil {
+		pr.local = append(pr.local, local)
+	}
+	if remote != nil {
+		pr.remote = append(pr.remote, *remote)
+	}
+	n.pendingReads = append(n.pendingReads, pr)
+	n.broadcastAppendLocked()
+	// A single-node cluster is its own quorum.
+	n.maybeCompleteReadsLocked()
+}
+
+// maybeCompleteReadsLocked resolves every pending read whose quorum has
+// acked, provided the commit index has reached the leader's own term.
+func (n *Node) maybeCompleteReadsLocked() {
+	if n.state != Leader || len(n.pendingReads) == 0 {
+		return
+	}
+	if n.termAtLocked(n.commitIndex) != n.currentTerm {
+		return
+	}
+	quorum := len(n.peers)/2 + 1
+	keep := n.pendingReads[:0]
+	for _, pr := range n.pendingReads {
+		if len(pr.acks)+1 >= quorum { // +1: the leader itself
+			n.completeReadLocked(pr, n.commitIndex, nil)
+		} else {
+			keep = append(keep, pr)
+		}
+	}
+	n.pendingReads = keep
+}
+
+// completeReadLocked delivers a read-index round's outcome to its local
+// and forwarded waiters.
+func (n *Node) completeReadLocked(pr *pendingRead, idx uint64, err error) {
+	for _, ch := range pr.local {
+		select {
+		case ch <- readIndexResult{index: idx, err: err}:
+		default:
+		}
+	}
+	for _, r := range pr.remote {
+		n.trans.send(n.id, r.node, readIndexResp{ID: r.id, Index: idx, OK: err == nil})
+	}
+}
+
+// failPendingReadsLocked aborts every in-flight read-index round; called
+// on loss of leadership.
+func (n *Node) failPendingReadsLocked() {
+	for _, pr := range n.pendingReads {
+		n.completeReadLocked(pr, 0, ErrNotLeader)
+	}
+	n.pendingReads = nil
+}
+
+func (n *Node) handleReadIndexReq(from int, msg readIndexReq) {
+	n.mu.Lock()
+	if n.state != Leader {
+		n.mu.Unlock()
+		n.trans.send(n.id, from, readIndexResp{ID: msg.ID, OK: false})
+		return
+	}
+	n.startReadLocked(nil, &remoteRead{node: from, id: msg.ID})
+	n.mu.Unlock()
+}
+
+func (n *Node) handleReadIndexResp(_ int, msg readIndexResp) {
+	n.mu.Lock()
+	ch, ok := n.readWaiters[msg.ID]
+	delete(n.readWaiters, msg.ID)
+	n.mu.Unlock()
+	if !ok {
+		return // caller timed out and deregistered
+	}
+	res := readIndexResult{index: msg.Index}
+	if !msg.OK {
+		res.err = ErrNoLeader
+	}
+	select {
+	case ch <- res:
+	default:
+	}
 }
 
 // Log returns a copy of the node's log (for verification in tests).
@@ -379,6 +614,10 @@ func (n *Node) handle(env envelope) {
 		n.handleAppendEntriesResp(env.from, msg)
 	case installSnapshot:
 		n.handleInstallSnapshot(env.from, msg)
+	case readIndexReq:
+		n.handleReadIndexReq(env.from, msg)
+	case readIndexResp:
+		n.handleReadIndexResp(env.from, msg)
 	}
 }
 
@@ -492,6 +731,9 @@ func (n *Node) becomeFollowerLocked(term uint64, leader int) {
 		n.heartbeatTick.Stop()
 		n.heartbeatTick = nil
 	}
+	if wasLeader {
+		n.failPendingReadsLocked()
+	}
 	n.resetElectionTimerLocked()
 }
 
@@ -525,7 +767,10 @@ func (n *Node) handleAppendEntries(from int, msg appendEntries) {
 		if conflict == 0 {
 			conflict = 1
 		}
-		resp := appendEntriesResp{Term: n.currentTerm, Success: false, ConflictIndex: conflict}
+		// A consistency failure still acknowledges the sender's
+		// leadership for this term, so it echoes Seq and counts toward
+		// read-index quorums.
+		resp := appendEntriesResp{Term: n.currentTerm, Success: false, ConflictIndex: conflict, Seq: msg.Seq}
 		n.mu.Unlock()
 		n.trans.send(n.id, from, resp)
 		return
@@ -557,7 +802,7 @@ func (n *Node) handleAppendEntries(from int, msg appendEntries) {
 		}
 	}
 	match := msg.PrevLogIndex + uint64(len(msg.Entries))
-	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match}
+	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match, Seq: msg.Seq}
 	applies := n.takeAppliesLocked()
 	n.mu.Unlock()
 
@@ -575,6 +820,17 @@ func (n *Node) handleAppendEntriesResp(from int, msg appendEntriesResp) {
 	if n.state != Leader || msg.Term != n.currentTerm {
 		n.mu.Unlock()
 		return
+	}
+	// Any same-term response — success or log-consistency failure — is a
+	// leadership ack for the heartbeat round it echoes; credit it to the
+	// read-index rounds registered at or before that round.
+	if msg.Seq > 0 && len(n.pendingReads) > 0 {
+		for _, pr := range n.pendingReads {
+			if msg.Seq >= pr.seq {
+				pr.acks[from] = true
+			}
+		}
+		n.maybeCompleteReadsLocked()
 	}
 	if msg.Success {
 		if msg.MatchIndex > n.matchIndex[from] {
@@ -611,10 +867,14 @@ func (n *Node) advanceCommitLocked() {
 	majority := matches[len(n.peers)/2]
 	if majority > n.commitIndex && n.termAtLocked(majority) == n.currentTerm {
 		n.commitIndex = majority
+		// Reads whose quorum already acked may have been waiting for the
+		// current term's first commit (the no-op barrier).
+		n.maybeCompleteReadsLocked()
 	}
 }
 
 func (n *Node) broadcastAppendLocked() {
+	n.hbSeq++ // new heartbeat round: later acks confirm leadership now
 	for _, p := range n.peers {
 		if p != n.id {
 			n.sendAppendLocked(p)
@@ -652,6 +912,7 @@ func (n *Node) sendAppendLocked(to int) {
 		PrevLogIndex: prevIdx,
 		PrevLogTerm:  n.termAtLocked(prevIdx),
 		LeaderCommit: n.commitIndex,
+		Seq:          n.hbSeq,
 	}
 	if n.lastIndexLocked() >= next {
 		entries := n.log[next-n.snapIndex-1:]

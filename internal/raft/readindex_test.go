@@ -1,0 +1,181 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// readIndexOK calls ReadIndex on n, retrying transient failures (no
+// leader yet, election churn) until the deadline.
+func readIndexOK(t *testing.T, n *Node, clk *clock.Sim) uint64 {
+	t.Helper()
+	deadline := clk.Now().Add(10 * time.Second)
+	for clk.Now().Before(deadline) {
+		idx, err := n.ReadIndex(time.Second)
+		if err == nil {
+			return idx
+		}
+		clk.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("node %d: ReadIndex never succeeded", n.ID())
+	return 0
+}
+
+// TestReadIndexOnLeaderCoversCommittedWrites: the index returned by the
+// leader is at least the commit index of every prior acknowledged write.
+func TestReadIndexOnLeaderCoversCommittedWrites(t *testing.T) {
+	c, clk := newTestCluster(t, 3)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		last = proposeOK(t, c, clk, fmt.Sprintf("w%d", i))
+	}
+	waitCommitted(t, c, clk, 5, 10*time.Second)
+	l := c.WaitLeader(5 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	idx := readIndexOK(t, l, clk)
+	if idx < last {
+		t.Fatalf("read index %d below committed write %d", idx, last)
+	}
+}
+
+// TestReadIndexFollowerForwards: a follower's ReadIndex forwards to the
+// leader and returns the same guarantee.
+func TestReadIndexFollowerForwards(t *testing.T) {
+	c, clk := newTestCluster(t, 3)
+	last := proposeOK(t, c, clk, "w")
+	waitCommitted(t, c, clk, 1, 10*time.Second)
+	l := c.WaitLeader(5 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	for _, id := range c.IDs() {
+		n := c.Node(id)
+		if n == nil || n.ID() == l.ID() {
+			continue
+		}
+		idx := readIndexOK(t, n, clk)
+		if idx < last {
+			t.Fatalf("follower %d read index %d below committed write %d", id, idx, last)
+		}
+	}
+}
+
+// TestReadIndexSingleNode: a single-node cluster is its own quorum and
+// confirms immediately.
+func TestReadIndexSingleNode(t *testing.T) {
+	c, clk := newTestCluster(t, 1)
+	last := proposeOK(t, c, clk, "solo")
+	waitCommitted(t, c, clk, 1, 5*time.Second)
+	l := c.WaitLeader(2 * time.Second)
+	if idx := readIndexOK(t, l, clk); idx < last {
+		t.Fatalf("read index %d below committed write %d", idx, last)
+	}
+}
+
+// TestReadIndexFreshLeaderCommitsBarrier: a leader elected into a term
+// with no proposals of its own must not serve a read index below its
+// predecessor's committed writes — it commits a no-op barrier first.
+func TestReadIndexFreshLeaderCommitsBarrier(t *testing.T) {
+	c, clk := newTestCluster(t, 3)
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = proposeOK(t, c, clk, fmt.Sprintf("old-%d", i))
+	}
+	waitCommitted(t, c, clk, 3, 10*time.Second)
+	old := c.WaitLeader(5 * time.Second)
+	if old == nil {
+		t.Fatal("no leader")
+	}
+	c.Crash(old.ID())
+
+	// Wait for a successor; ask it for a read index before proposing
+	// anything in its term.
+	deadline := clk.Now().Add(15 * time.Second)
+	var successor *Node
+	for clk.Now().Before(deadline) {
+		if l := c.Leader(); l != nil && l.ID() != old.ID() {
+			successor = l
+			break
+		}
+		clk.Sleep(20 * time.Millisecond)
+	}
+	if successor == nil {
+		t.Fatal("no failover leader")
+	}
+	idx := readIndexOK(t, successor, clk)
+	if idx < last {
+		t.Fatalf("fresh leader served read index %d below predecessor's committed write %d", idx, last)
+	}
+	// The barrier is a real log entry: it reaches the apply channel as a
+	// nil-Cmd entry beyond the old writes.
+	sawBarrier := false
+	deadline = clk.Now().Add(10 * time.Second)
+	for clk.Now().Before(deadline) && !sawBarrier {
+		select {
+		case a := <-successor.ApplyCh():
+			if len(a.Entry.Cmd) == 0 && a.Entry.Index > last {
+				sawBarrier = true
+			}
+		default:
+			clk.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !sawBarrier {
+		t.Fatal("no-op barrier never applied on the fresh leader")
+	}
+}
+
+// TestReadIndexPartitionedLeaderNeverAnswers: a leader cut off from the
+// cluster must fail its read-index rounds (no quorum of acks) rather
+// than serve an index that could miss the majority side's writes.
+func TestReadIndexPartitionedLeaderNeverAnswers(t *testing.T) {
+	c, clk := newTestCluster(t, 3)
+	proposeOK(t, c, clk, "w0")
+	waitCommitted(t, c, clk, 1, 10*time.Second)
+	stale := c.WaitLeader(5 * time.Second)
+	if stale == nil {
+		t.Fatal("no leader")
+	}
+	c.Transport().Partition(stale.ID())
+
+	// The majority elects a successor and commits new writes the stale
+	// leader cannot see.
+	deadline := clk.Now().Add(15 * time.Second)
+	var successor *Node
+	for clk.Now().Before(deadline) {
+		for _, id := range c.IDs() {
+			if id == stale.ID() {
+				continue
+			}
+			if n := c.Node(id); n != nil && n.State() == Leader {
+				successor = n
+			}
+		}
+		if successor != nil {
+			break
+		}
+		clk.Sleep(20 * time.Millisecond)
+	}
+	if successor == nil {
+		t.Fatal("majority did not elect a successor")
+	}
+
+	// Every round on the stale leader must fail until it heals.
+	for i := 0; i < 3; i++ {
+		if idx, err := stale.ReadIndex(time.Second); err == nil {
+			t.Fatalf("partitioned stale leader served read index %d", idx)
+		} else if !errors.Is(err, ErrReadTimeout) && !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("unexpected error from stale leader: %v", err)
+		}
+	}
+	// The successor serves fine with its quorum.
+	if _, err := successor.ReadIndex(2 * time.Second); err != nil {
+		t.Fatalf("majority leader read index: %v", err)
+	}
+}

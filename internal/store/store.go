@@ -207,9 +207,22 @@ type Engine struct {
 
 	instr atomic.Pointer[instrumentation]
 
+	// Applied-floor waiters (WaitApplied). hasWaiters lets the floor-raise
+	// hot paths skip the lock when nobody is waiting.
+	waitMu     sync.Mutex
+	waiters    []floorWaiter
+	hasWaiters atomic.Bool
+
 	drainWake chan struct{}
 	stop      chan struct{}
 	stopOnce  sync.Once
+}
+
+// floorWaiter is one WaitApplied registration: ch closes when the
+// applied floor reaches rev.
+type floorWaiter struct {
+	rev uint64
+	ch  chan struct{}
 }
 
 // install appends a version to key's chain in sh, bounding its length
@@ -353,7 +366,92 @@ func (e *Engine) finish(rev uint64) {
 		case e.drainWake <- struct{}{}:
 		default:
 		}
+		e.notifyApplied()
 	}
+}
+
+// appliedFloor is the highest revision R such that every revision <= R
+// is installed: the gate floor in internal mode, the external floor in
+// replicated-log mode.
+func (e *Engine) appliedFloor() uint64 {
+	if e.external {
+		return e.extFloor.Load()
+	}
+	return e.gate.floorNow()
+}
+
+// WaitApplied returns a channel that closes once the applied floor
+// reaches rev (already closed when it has), plus a cancel that
+// deregisters the waiter — a caller that gives up (deadline, engine
+// swapped by a snapshot restore) must cancel or its entry lingers on
+// the waiter list until the floor eventually passes rev. It is the
+// event-driven twin of AdvanceFloor: a read-index read waits on it for
+// the local state machine to catch up to the leader's confirmed index
+// instead of polling the floor. The channel never closes if the engine
+// stops applying; callers bound the wait and re-fetch the engine.
+func (e *Engine) WaitApplied(rev uint64) (<-chan struct{}, func()) {
+	ch := make(chan struct{})
+	e.waitMu.Lock()
+	// Publish hasWaiters BEFORE the floor check: a floor raise that is
+	// concurrent with registration then either observes it (and takes
+	// waitMu to notify, serializing after this append) or ordered its
+	// raise before our check (and the check sees the new floor). Checking
+	// first would let a raise slip between the check and the store,
+	// skipping notifyApplied's fast path with the waiter unregistered —
+	// a wakeup lost forever.
+	e.hasWaiters.Store(true)
+	if e.appliedFloor() >= rev {
+		if len(e.waiters) == 0 {
+			e.hasWaiters.Store(false)
+		}
+		e.waitMu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	e.waiters = append(e.waiters, floorWaiter{rev: rev, ch: ch})
+	e.waitMu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			e.waitMu.Lock()
+			for i, w := range e.waiters {
+				if w.ch == ch {
+					e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+					break
+				}
+			}
+			if len(e.waiters) == 0 {
+				e.hasWaiters.Store(false)
+			}
+			e.waitMu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// notifyApplied releases WaitApplied registrations the floor has
+// reached. Floor-raise paths call it after raiseMax; the atomic check
+// keeps the no-waiter case lock-free.
+func (e *Engine) notifyApplied() {
+	if !e.hasWaiters.Load() {
+		return
+	}
+	e.waitMu.Lock()
+	floor := e.appliedFloor()
+	keep := e.waiters[:0]
+	for _, w := range e.waiters {
+		if w.rev <= floor {
+			close(w.ch)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	e.waiters = keep
+	if len(keep) == 0 {
+		e.hasWaiters.Store(false)
+	}
+	e.waitMu.Unlock()
 }
 
 // Put installs value under key at a fresh revision.
@@ -518,6 +616,24 @@ func (e *Engine) Get(key string) (any, uint64, bool) {
 		return h.latest()
 	}
 	return nil, 0, false
+}
+
+// GetAt returns the live value visible for key at rev — the point-read
+// companion of ScanAt, used to evaluate multi-key guards against one
+// consistent snapshot revision. It fails with ErrCompacted when rev
+// predates the compaction floor.
+func (e *Engine) GetAt(key string, rev uint64) (any, uint64, bool, error) {
+	if rev < e.compacted.Load() {
+		return nil, 0, false, fmt.Errorf("%w: rev %d < compaction floor %d", ErrCompacted, rev, e.compacted.Load())
+	}
+	sh := e.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if h := sh.keys[key]; h != nil {
+		v, vr, ok := h.at(rev)
+		return v, vr, ok, nil
+	}
+	return nil, 0, false, nil
 }
 
 // Snapshot returns a revision safe for consistent multi-key reads: every
@@ -860,6 +976,7 @@ func (e *Engine) ApplyAt(rev uint64, ops []Op) ([]Event, error) {
 		sh.mu.Unlock()
 	}
 	raiseMax(&e.extFloor, rev)
+	e.notifyApplied()
 	return events, nil
 }
 
@@ -873,6 +990,7 @@ func (e *Engine) AdvanceFloor(rev uint64) error {
 		return fmt.Errorf("%w: AdvanceFloor on internal-revision engine", ErrExternalRevs)
 	}
 	raiseMax(&e.extFloor, rev)
+	e.notifyApplied()
 	return nil
 }
 
@@ -914,6 +1032,7 @@ func (e *Engine) Import(kvs []KV, floorAtLeast uint64) error {
 	// the restored floor is unavailable for backfill, so resumers older
 	// than it must re-list.
 	raiseMax(&e.truncated, floor)
+	e.notifyApplied()
 	return nil
 }
 

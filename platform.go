@@ -74,6 +74,15 @@ type Options struct {
 	// and a job forfeits up to a full CheckpointInterval of training.
 	ImmediateEviction bool
 
+	// ReadMode selects how etcd Get/Range (and read-only Txn) are
+	// served: "readindex" (the default) answers from a local MVCC
+	// snapshot after a leader read-index round — linearizable, zero log
+	// entries per read; "propose" sequences every read through the Raft
+	// log (the pre-read-index behavior, kept for A/B comparison — see
+	// BenchmarkEtcdReads); "serializable" reads any live replica's local
+	// state with bounded staleness and no quorum requirement.
+	ReadMode string
+
 	// ControlPlane selects how the core services observe state changes:
 	// "watch" (the default) drives the Guardian and LCM from
 	// revision-ordered etcd watches and the metadata change feed, with
@@ -174,6 +183,10 @@ func New(opts Options) (*Platform, error) {
 	p.mongo = mongo.NewSharded(p.clk, opts.MetadataShards)
 	p.mongo.Instrument(p.metrics)
 	p.etcd = etcd.NewSharded(opts.EtcdReplicas, p.clk, opts.MetadataShards)
+	if err := p.etcd.SetReadMode(opts.ReadMode); err != nil {
+		p.closePartial()
+		return nil, fmt.Errorf("dlaas: %w", err)
+	}
 	p.etcd.Instrument(p.metrics)
 	p.bus = rpc.NewBus(p.clk)
 
