@@ -1,0 +1,531 @@
+package dlaas
+
+// The dependability campaign: a compound-fault chaos matrix with a
+// per-job verdict oracle. Each scenario boots a fresh platform, submits
+// a training job, executes a seeded, replayable fault schedule against
+// it (single faults, fault sequences, and double faults), heals
+// everything, and has an independent jobmonitor render the verdict:
+// legal terminal state, no acknowledged work lost, no liveness breach,
+// and learner/etcd/mongo metadata mutually consistent. The paper's
+// dependability claims, restated as machine-checkable conditions.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/jobmonitor"
+)
+
+// campaignTenant owns every campaign job and its buckets.
+const campaignTenant = "chaos"
+
+// scenario is one named entry of the fault matrix.
+type scenario struct {
+	name  string
+	about string
+	// opts sizes the platform; zero fields take platform defaults.
+	opts Options
+	// learners is the job's gang size.
+	learners int
+	// images overrides the default dataset size (0 = campaignImages) —
+	// long fault sequences need the job still training when the last
+	// fault lands.
+	images int64
+	// expect lists the legal terminal states under this fault load.
+	expect []JobState
+	// deadline is the liveness budget from submission (virtual time).
+	deadline time.Duration
+	// schedule builds the fault script. Steps carry symbolic targets;
+	// Apply closures resolve them against live state when they fire.
+	schedule func(run *scenarioRun) chaos.Schedule
+}
+
+// scenarioRun is the live context Apply closures close over.
+type scenarioRun struct {
+	client *Client
+	jobID  string
+}
+
+func learnerSelector(jobID string) map[string]string {
+	return map[string]string{"app": "dlaas-learner", "job": jobID}
+}
+
+func guardianSelector(jobID string) map[string]string {
+	return map[string]string{"app": "dlaas-guardian", "job": jobID}
+}
+
+// completion is the default expectation: the platform rides out the
+// faults and the job still completes.
+var completion = []JobState{StateCompleted}
+
+// campaignMatrix is the fault matrix. Offsets are virtual time from the
+// moment the job first reaches PROCESSING; Jitter perturbs them ±10%
+// per scenario seed.
+func campaignMatrix() []scenario {
+	return []scenario{
+		{
+			name:     "learner-crash",
+			about:    "single learner pod crash mid-training; StatefulSet restarts it, training resumes from checkpoint",
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				return chaos.Schedule{
+					{At: 30 * time.Second, Fault: "kill-pod", Target: "learner",
+						Apply: func(i *chaos.Injector) error {
+							_, err := i.KillOnePod(learnerSelector(run.jobID))
+							return err
+						}},
+				}
+			},
+		},
+		{
+			name:     "learner-crashloop",
+			about:    "three sequential learner crashes (a zombie learner that keeps dying); each restart resumes without losing acked work",
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				kill := func(i *chaos.Injector) error {
+					_, err := i.KillOnePod(learnerSelector(run.jobID))
+					return err
+				}
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "kill-pod", Target: "learner", Apply: kill},
+					{At: 45 * time.Second, Fault: "kill-pod", Target: "learner", Apply: kill},
+					{At: 70 * time.Second, Fault: "kill-pod", Target: "learner", Apply: kill},
+				}
+			},
+		},
+		{
+			name:     "nfs-flap",
+			about:    "shared NFS volume flaps twice (hard-mount stall, then recovery); status files and logs pause but nothing is lost",
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "nfs-stall", Target: "nfs",
+						Apply: func(i *chaos.Injector) error { return i.StallNFS() }},
+					{At: 45 * time.Second, Fault: "nfs-heal", Target: "nfs",
+						Apply: func(i *chaos.Injector) error { return i.HealNFS() }},
+					{At: 80 * time.Second, Fault: "nfs-stall", Target: "nfs",
+						Apply: func(i *chaos.Injector) error { return i.StallNFS() }},
+					{At: 100 * time.Second, Fault: "nfs-heal", Target: "nfs",
+						Apply: func(i *chaos.Injector) error { return i.HealNFS() }},
+				}
+			},
+		},
+		{
+			name:     "leader-partition-mid-drain",
+			about:    "double fault: etcd leader partitioned while the learner's node drains through the eviction-grace protocol",
+			opts:     Options{Nodes: 3, GPUsPerNode: 1, EtcdReplicas: 3},
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				var drained string
+				var leader int
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "drain-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							n, err := i.DrainNodeOf(learnerSelector(run.jobID))
+							drained = n
+							return err
+						}},
+					{At: 22 * time.Second, Fault: "etcd-partition-leader", Target: "etcd-leader",
+						Apply: func(i *chaos.Injector) error {
+							id, err := i.PartitionEtcdLeader()
+							leader = id
+							return err
+						}},
+					{At: 90 * time.Second, Fault: "etcd-heal", Target: "etcd-leader",
+						Apply: func(i *chaos.Injector) error { return i.HealEtcd(leader) }},
+					{At: 150 * time.Second, Fault: "uncordon-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							if drained == "" {
+								return nil
+							}
+							return i.UncordonNode(drained)
+						}},
+				}
+			},
+		},
+		{
+			name:     "clock-skew",
+			about:    "two nodes drift (+45s and -30s); learner-side stamps skew with their nodes while central job history stays monotone",
+			opts:     Options{Nodes: 3, GPUsPerNode: 1},
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "clock-skew", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							_, err := i.SkewNodeClockOf(learnerSelector(run.jobID), 45*time.Second)
+							return err
+						}},
+					{At: 25 * time.Second, Fault: "clock-skew", Target: "node-of:api",
+						Apply: func(i *chaos.Injector) error {
+							_, err := i.SkewNodeClockOf(map[string]string{"app": "dlaas-api"}, -30*time.Second)
+							return err
+						}},
+				}
+			},
+		},
+		{
+			name:     "cascading-node-loss",
+			about:    "the learner's node crashes and recovers, then the node the learner resumed on crashes too; the job rides out both losses",
+			opts:     Options{Nodes: 3, GPUsPerNode: 1},
+			learners: 1,
+			images:   12000,
+			expect:   completion,
+			deadline: 4 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				// The gang reservation pins the learner to its node, so a
+				// downed node parks the job until the node returns — the
+				// cascade is crash, recover, crash again.
+				var first, second string
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "crash-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							n, err := i.CrashNodeOf(learnerSelector(run.jobID))
+							first = n
+							return err
+						}},
+					{At: 60 * time.Second, Fault: "restart-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							if first == "" {
+								return nil
+							}
+							return i.RestartNode(first)
+						}},
+					{At: 100 * time.Second, Fault: "crash-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							// The second loss must hit the node the learner
+							// *resumed on*: wait out the recovery first.
+							if err := i.AwaitRunning(learnerSelector(run.jobID), 2*time.Minute); err != nil {
+								return err
+							}
+							n, err := i.CrashNodeOf(learnerSelector(run.jobID))
+							second = n
+							return err
+						}},
+					{At: 160 * time.Second, Fault: "restart-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							if second == "" {
+								return nil
+							}
+							return i.RestartNode(second)
+						}},
+				}
+			},
+		},
+		{
+			name:     "evict-guardian-crash",
+			about:    "double fault: the job's Guardian is killed in the middle of its learner's eviction-grace window",
+			opts:     Options{Nodes: 3, GPUsPerNode: 1},
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				var drained string
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "drain-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							n, err := i.DrainNodeOf(learnerSelector(run.jobID))
+							drained = n
+							return err
+						}},
+					{At: 25 * time.Second, Fault: "kill-pod", Target: "guardian",
+						Apply: func(i *chaos.Injector) error {
+							_, err := i.KillOnePod(guardianSelector(run.jobID))
+							return err
+						}},
+					{At: 120 * time.Second, Fault: "uncordon-node", Target: "node-of:learner",
+						Apply: func(i *chaos.Injector) error {
+							if drained == "" {
+								return nil
+							}
+							return i.UncordonNode(drained)
+						}},
+				}
+			},
+		},
+		{
+			name:     "core-blackout",
+			about:    "every API replica and the LCM killed at once (total control-plane outage); deployments restore them inside the client retry window",
+			learners: 1,
+			expect:   completion,
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				return chaos.Schedule{
+					{At: 30 * time.Second, Fault: "kill-all-pods", Target: "api",
+						Apply: func(i *chaos.Injector) error {
+							_, err := i.KillAllPods(map[string]string{"app": "dlaas-api"})
+							return err
+						}},
+					{At: 31 * time.Second, Fault: "kill-all-pods", Target: "lcm",
+						Apply: func(i *chaos.Injector) error {
+							_, err := i.KillAllPods(map[string]string{"app": "dlaas-lcm"})
+							return err
+						}},
+				}
+			},
+		},
+		{
+			name:     "halt-under-partition",
+			about:    "user halts the job while the etcd leader is partitioned; the halt lands on the majority side and the job ends HALTED",
+			opts:     Options{EtcdReplicas: 3},
+			learners: 1,
+			expect:   []JobState{StateHalted},
+			deadline: 3 * time.Hour,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				var leader int
+				return chaos.Schedule{
+					{At: 20 * time.Second, Fault: "etcd-partition-leader", Target: "etcd-leader",
+						Apply: func(i *chaos.Injector) error {
+							id, err := i.PartitionEtcdLeader()
+							leader = id
+							return err
+						}},
+					{At: 25 * time.Second, Fault: "halt-job", Target: "job",
+						Apply: func(i *chaos.Injector) error {
+							_, err := run.client.Halt(run.jobID)
+							return err
+						}},
+					{At: 90 * time.Second, Fault: "etcd-heal", Target: "etcd-leader",
+						Apply: func(i *chaos.Injector) error { return i.HealEtcd(leader) }},
+				}
+			},
+		},
+	}
+}
+
+// CampaignScenarios lists the matrix's scenario names in run order, with
+// one-line descriptions.
+func CampaignScenarios() [][2]string {
+	m := campaignMatrix()
+	out := make([][2]string, len(m))
+	for k, s := range m {
+		out[k] = [2]string{s.name, s.about}
+	}
+	return out
+}
+
+// ScenarioResult is one scenario's outcome in the campaign report.
+type ScenarioResult struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Steps is the executed (jittered) schedule with firing records.
+	Steps []chaos.StepResult `json:"steps"`
+	// Verdict is the oracle's judgment of the scenario's job.
+	Verdict jobmonitor.Verdict `json:"verdict"`
+	// ElapsedVirtual is scenario wall time on the virtual clock. It is
+	// excluded from the fingerprint: goroutine interleaving legitimately
+	// shifts virtual timings run to run.
+	ElapsedVirtual time.Duration `json:"elapsed_virtual"`
+	Pass           bool          `json:"pass"`
+}
+
+// Report is the campaign's machine-readable result.
+type Report struct {
+	Seed      int64            `json:"seed"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Pass      bool             `json:"pass"`
+}
+
+// JSON renders the report for artifact upload.
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Fingerprint digests the report's replayable identity: scenario names
+// and seeds, the jittered schedule triples (offset, fault, symbolic
+// target), each verdict's terminal state, and every check's name and
+// outcome. Timing observations (firing offsets, virtual elapsed) and
+// free-text details are excluded — two runs with the same campaign seed
+// must produce the same fingerprint.
+func (r Report) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign-seed %d\n", r.Seed)
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(h, "scenario %s seed %d\n", sc.Name, sc.Seed)
+		for _, st := range sc.Steps {
+			fmt.Fprintf(h, "  step %d %s %s\n", st.At, st.Fault, st.Target)
+		}
+		fmt.Fprintf(h, "  terminal %s pass %t\n", sc.Verdict.Terminal, sc.Pass)
+		for _, c := range sc.Verdict.Checks {
+			fmt.Fprintf(h, "  check %s %t\n", c.Name, c.Pass)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// scenarioSeed derives a per-scenario RNG seed from the campaign seed,
+// so adding or filtering scenarios never shifts another scenario's
+// schedule.
+func scenarioSeed(campaignSeed int64, name string) int64 {
+	f := fnv.New64a()
+	f.Write([]byte(name))
+	return campaignSeed ^ int64(f.Sum64())
+}
+
+// RunCampaign executes the named scenarios sequentially (all of them if
+// names is empty), each against a fresh platform, and returns the
+// report. The error is operational (unknown scenario, platform boot
+// failure) — fault-induced job outcomes are verdicts, not errors.
+func RunCampaign(seed int64, names ...string) (Report, error) {
+	matrix := campaignMatrix()
+	selected := matrix
+	if len(names) > 0 {
+		byName := make(map[string]scenario, len(matrix))
+		for _, s := range matrix {
+			byName[s.name] = s
+		}
+		selected = selected[:0:0]
+		for _, n := range names {
+			s, ok := byName[n]
+			if !ok {
+				return Report{}, fmt.Errorf("dlaas: unknown campaign scenario %q", n)
+			}
+			selected = append(selected, s)
+		}
+	}
+
+	// Scenarios are fully independent — each boots its own platform on
+	// its own virtual clock — so they run concurrently (bounded, to keep
+	// the discrete-event engines responsive) and report in matrix order.
+	// Per-scenario seeds derive from (campaign seed, name) alone, so
+	// concurrency cannot perturb schedules or the report fingerprint.
+	sem := make(chan struct{}, campaignConcurrency)
+	results := make([]ScenarioResult, len(selected))
+	errs := make([]error, len(selected))
+	var wg sync.WaitGroup
+	for k, s := range selected {
+		k, s := k, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[k], errs[k] = runScenario(s, scenarioSeed(seed, s.name))
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{Seed: seed, Pass: true}
+	for k := range selected {
+		if errs[k] != nil {
+			return rep, fmt.Errorf("dlaas: scenario %s: %w", selected[k].name, errs[k])
+		}
+		rep.Scenarios = append(rep.Scenarios, results[k])
+		rep.Pass = rep.Pass && results[k].Pass
+	}
+	return rep, nil
+}
+
+// campaignConcurrency bounds how many scenario platforms run at once.
+const campaignConcurrency = 4
+
+// campaignImages is the default dataset size: a couple of
+// cluster-minutes of training, comfortably outliving most schedules.
+const campaignImages = 4000
+
+// campaignManifest stages buckets and builds the scenario job's spec —
+// the same shape the platform tests train.
+func campaignManifest(p *Platform, learners int, images int64) (*Manifest, Credentials, error) {
+	creds := Credentials{AccessKey: campaignTenant, SecretKey: campaignTenant + "-secret"}
+	data, err := p.CreateDataset("data-"+campaignTenant, "train/imagenet-sub.rec", 2<<30, creds)
+	if err != nil {
+		return nil, creds, err
+	}
+	results, err := p.CreateResultsBucket("results-"+campaignTenant, creds)
+	if err != nil {
+		return nil, creds, err
+	}
+	if images <= 0 {
+		images = campaignImages
+	}
+	return &Manifest{
+		Name:               "campaign-train",
+		Framework:          "tensorflow",
+		Model:              "resnet50",
+		Learners:           learners,
+		GPUsPerLearner:     1,
+		BatchPerGPU:        32,
+		Epochs:             1,
+		DatasetImages:      images,
+		TrainingData:       data,
+		Results:            results,
+		CheckpointInterval: 30 * time.Second,
+	}, creds, nil
+}
+
+// runScenario boots a platform, runs one scenario's fault script against
+// a live job, and returns the oracle's verdict.
+func runScenario(s scenario, seed int64) (ScenarioResult, error) {
+	res := ScenarioResult{Name: s.name, Seed: seed}
+
+	p, err := New(s.opts)
+	if err != nil {
+		return res, fmt.Errorf("booting platform: %w", err)
+	}
+	defer p.Close()
+	inj := p.Chaos()
+	// Heal on every exit path: an unhealed NFS stall or partition must
+	// not leak into teardown.
+	defer inj.HealAll()
+
+	m, creds, err := campaignManifest(p, s.learners, s.images)
+	if err != nil {
+		return res, fmt.Errorf("staging data: %w", err)
+	}
+	client := p.Client(campaignTenant)
+	jobID, err := client.Submit(m)
+	if err != nil {
+		return res, fmt.Errorf("submitting job: %w", err)
+	}
+
+	start := p.clk.Now()
+	mon, err := jobmonitor.Watch(jobmonitor.Config{
+		Clock:   p.clk,
+		Jobs:    p.deps.Jobs(),
+		Etcd:    p.etcd,
+		Cluster: p.cluster,
+		Store:   p.store,
+	}, jobmonitor.JobRef{
+		ID:            jobID,
+		Learners:      s.learners,
+		ResultsBucket: m.Results.Bucket,
+		Creds:         creds,
+	}, jobmonitor.Expect{Terminal: s.expect, Deadline: s.deadline})
+	if err != nil {
+		return res, fmt.Errorf("starting oracle: %w", err)
+	}
+
+	// Inject once the job is actually training: every schedule offset is
+	// relative to first PROCESSING. A job that dies before then is the
+	// oracle's to judge.
+	_, _ = client.WaitForState(jobID, StateProcessing, 30*time.Minute)
+
+	rng := rand.New(rand.NewSource(seed))
+	sched := chaos.Jitter(rng, s.schedule(&scenarioRun{client: client, jobID: jobID}), 0.10)
+	res.Steps = inj.Execute(sched)
+
+	// Heal standing faults before judgment: the oracle reads through the
+	// same substrates the platform uses (quorum reads need a quorum).
+	inj.HealAll()
+
+	res.Verdict = mon.Verdict()
+	res.ElapsedVirtual = p.clk.Since(start)
+	res.Pass = res.Verdict.Pass
+	return res, nil
+}

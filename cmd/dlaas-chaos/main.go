@@ -1,105 +1,109 @@
-// Command dlaas-chaos runs a scripted chaos campaign against a live
-// platform instance: it submits a training job and then, while the job
-// trains, repeatedly crashes a random mix of components — learners,
-// helpers, Guardians, core services, even whole nodes — verifying after
-// each injection that the platform recovers and the job still completes.
+// Command dlaas-chaos runs the dependability campaign: a matrix of
+// named compound-fault scenarios (learner crash loops, NFS volume
+// flaps, etcd-leader partition during a node drain, node clock skew,
+// cascading node loss, double faults), each executed as a seeded,
+// replayable schedule against a fresh platform instance with a live
+// training job, and each judged by an independent per-job verdict
+// oracle.
 //
 // Usage:
 //
-//	dlaas-chaos -duration 2h -injections 10 -seed 3
+//	dlaas-chaos                      # run the full matrix
+//	dlaas-chaos -list                # list scenarios
+//	dlaas-chaos -scenarios nfs-flap,clock-skew -seed 7
+//	dlaas-chaos -out report.json     # write the machine-readable report
 //
-// Durations are cluster (virtual) time; the campaign typically finishes
-// in seconds of wall time and prints a recovery report.
+// All fault timing is cluster (virtual) time; a full campaign finishes
+// in minutes of wall time. The exit status is 0 only if every scenario
+// passes its verdict.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"time"
+	"strings"
 
 	dlaas "repro"
 )
 
 func main() {
-	injections := flag.Int("injections", 8, "number of fault injections")
-	gap := flag.Duration("gap", 3*time.Minute, "cluster-time gap between injections")
-	seed := flag.Int64("seed", 1, "campaign seed")
+	seed := flag.Int64("seed", 42, "campaign seed (same seed -> same schedules and report fingerprint)")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (default: full matrix)")
+	out := flag.String("out", "", "write the JSON verdict report to this file")
+	list := flag.Bool("list", false, "list scenario names and exit")
 	flag.Parse()
 
-	if err := run(*injections, *gap, *seed); err != nil {
+	if *list {
+		for _, s := range dlaas.CampaignScenarios() {
+			fmt.Printf("%-28s %s\n", s[0], s[1])
+		}
+		return
+	}
+
+	var names []string
+	if *scenarios != "" {
+		for _, n := range strings.Split(*scenarios, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	if err := run(*seed, names, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "dlaas-chaos: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(injections int, gap time.Duration, seed int64) error {
-	fmt.Println("booting platform and victim job...")
-	p, err := dlaas.New(dlaas.Options{Seed: seed})
+func run(seed int64, names []string, out string) error {
+	fmt.Printf("dependability campaign: seed %d\n\n", seed)
+	rep, err := dlaas.RunCampaign(seed, names...)
 	if err != nil {
 		return err
 	}
-	defer p.Close()
 
-	client := p.Client("chaos")
-	creds := dlaas.Credentials{AccessKey: "chaos", SecretKey: "chaos-secret"}
-	data, err := p.CreateDataset("chaos-data", "train.rec", 4<<30, creds)
-	if err != nil {
-		return err
-	}
-	results, err := p.CreateResultsBucket("chaos-results", creds)
-	if err != nil {
-		return err
-	}
-	id, err := client.Submit(&dlaas.Manifest{
-		Name: "chaos-victim", Framework: "tensorflow", Model: "resnet50",
-		Learners: 2, GPUsPerLearner: 1, BatchPerGPU: 32,
-		Epochs: 2, DatasetImages: 60000,
-		TrainingData: data, Results: results,
-		CheckpointInterval: 2 * time.Minute,
-	})
-	if err != nil {
-		return err
-	}
-	if _, err := client.WaitForState(id, dlaas.StateProcessing, 2*time.Hour); err != nil {
-		return err
-	}
-	fmt.Printf("victim job %s is training; beginning %d injections\n\n", id, injections)
-
-	rng := rand.New(rand.NewSource(seed))
-	targets := []struct {
-		name     string
-		selector map[string]string
-	}{
-		{"API", map[string]string{"app": "dlaas-api"}},
-		{"LCM", map[string]string{"app": "dlaas-lcm"}},
-		{"Guardian", map[string]string{"app": "dlaas-guardian", "job": id}},
-		{"Helper", map[string]string{"app": "dlaas-helper", "job": id}},
-		{"Learner", map[string]string{"app": "dlaas-learner", "job": id}},
-	}
-	clk := p.Clock()
-	inj := p.Chaos()
-	failures := 0
-	for k := 0; k < injections; k++ {
-		target := targets[rng.Intn(len(targets))]
-		rec, err := inj.MeasurePodRecovery(target.selector, 5*time.Minute)
-		if err != nil {
-			fmt.Printf("%2d. %-9s INJECTION FAILED: %v\n", k+1, target.name, err)
-			failures++
-		} else {
-			fmt.Printf("%2d. %-9s killed -> recovered in %5.1fs (cluster time)\n",
-				k+1, target.name, rec.Seconds())
+	for _, sc := range rep.Scenarios {
+		status := "PASS"
+		if !sc.Pass {
+			status = "FAIL"
 		}
-		clk.Sleep(gap)
+		fmt.Printf("%-28s %s  terminal=%-9s  %d steps  %5.0fs cluster time\n",
+			sc.Name, status, sc.Verdict.Terminal, len(sc.Steps), sc.ElapsedVirtual.Seconds())
+		for _, c := range sc.Verdict.Checks {
+			mark := "ok"
+			if !c.Pass {
+				mark = "FAIL"
+			}
+			fmt.Printf("    %-22s %s", c.Name, mark)
+			if c.Detail != "" {
+				fmt.Printf("  (%s)", c.Detail)
+			}
+			fmt.Println()
+		}
+		for _, st := range sc.Steps {
+			if st.Err != "" {
+				fmt.Printf("    step %s@%v did not apply: %s\n", st.Fault, st.At, st.Err)
+			}
+		}
 	}
 
-	fmt.Println("\nwaiting for the victim job to complete despite the abuse...")
-	rec, err := client.WaitForState(id, dlaas.StateCompleted, 24*time.Hour)
-	if err != nil {
-		return fmt.Errorf("victim job did not survive: %w (state %s)", err, rec.State)
+	fmt.Printf("\nfingerprint: %s\n", rep.Fingerprint())
+
+	if out != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
 	}
-	fmt.Printf("victim job completed (deploy attempts: %d). %d/%d injections recovered.\n",
-		rec.DeployAttempts, injections-failures, injections)
+
+	if !rep.Pass {
+		return fmt.Errorf("campaign verdict: FAIL (%d scenarios)", len(rep.Scenarios))
+	}
+	fmt.Printf("campaign verdict: PASS (%d scenarios)\n", len(rep.Scenarios))
 	return nil
 }

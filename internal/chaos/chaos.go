@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/etcd"
 	"repro/internal/kube"
+	"repro/internal/nfs"
 )
 
 // Common errors.
@@ -27,10 +29,13 @@ var (
 // it bounds measurement quantization error.
 const pollGrain = 20 * time.Millisecond
 
-// Injector performs fault injection against one cluster.
+// Injector performs fault injection against one cluster and, when the
+// handles are attached, the platform's shared substrates (etcd, NFS).
 type Injector struct {
 	cluster *kube.Cluster
 	clk     clock.Clock
+	etcd    *etcd.Store
+	nfs     *nfs.Server
 }
 
 // New creates an injector for the cluster.
@@ -74,13 +79,17 @@ func (i *Injector) MeasurePodRecovery(selector map[string]string, timeout time.D
 	if victim == nil {
 		return 0, fmt.Errorf("selecting %v: %w", selector, ErrNoTarget)
 	}
-	before := make(map[*kube.Pod]bool)
-	for _, p := range i.cluster.Pods(selector) {
-		before[p] = true
-	}
 	start := i.clk.Now()
-	if err := i.cluster.DeletePod(victim.Name()); err != nil {
+	// Snapshot and kill under one cluster quiescent point: a pod the
+	// controller schedules concurrently must not land in the before-set
+	// (it IS the recovery) nor, if created pre-kill, count as one.
+	snapshot, err := i.cluster.DeletePodAndSnapshot(victim.Name(), selector)
+	if err != nil {
 		return 0, fmt.Errorf("killing %s: %w", victim.Name(), err)
+	}
+	before := make(map[*kube.Pod]bool, len(snapshot))
+	for _, p := range snapshot {
+		before[p] = true
 	}
 	deadline := start.Add(timeout)
 	for i.clk.Now().Before(deadline) {
@@ -117,16 +126,22 @@ func (i *Injector) MeasureContainerRecovery(podName, container string, timeout t
 }
 
 // Sample repeats a measurement n times with the given settle pause
-// between runs and returns the observed durations.
+// between runs and returns the observed durations. The pause separates
+// consecutive measurements only — there is none after the last, so the
+// total virtual cost is exactly the measurements plus (n-1) settles and
+// downstream schedules (campaign steps, back-to-back experiments) are
+// not pushed late by a trailing idle window.
 func (i *Injector) Sample(n int, settle time.Duration, measure func() (time.Duration, error)) ([]time.Duration, error) {
 	out := make([]time.Duration, 0, n)
 	for k := 0; k < n; k++ {
+		if k > 0 {
+			i.clk.Sleep(settle)
+		}
 		d, err := measure()
 		if err != nil {
 			return out, fmt.Errorf("sample %d: %w", k, err)
 		}
 		out = append(out, d)
-		i.clk.Sleep(settle)
 	}
 	return out, nil
 }

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Step is one scheduled fault action in a compound-fault scenario. The
+// (At, Fault, Target) triple is the step's replayable identity — it is
+// what campaign reports record and what seed-determinism compares — and
+// Apply is the executable side, resolved against live platform state
+// when the step fires.
+type Step struct {
+	// At is the step's virtual offset from schedule start.
+	At time.Duration `json:"at"`
+	// Fault names the fault-taxonomy entry (e.g. "kill-pod",
+	// "nfs-stall", "etcd-partition-leader").
+	Fault string `json:"fault"`
+	// Target names the symbolic victim (e.g. "learner", "node-of:
+	// learner"), not a resolved pod name: resolved names embed creation
+	// sequence numbers that legitimately differ across runs.
+	Target string `json:"target"`
+	// Apply performs the fault (or heal). It is nil in recorded copies.
+	Apply func(i *Injector) error `json:"-"`
+}
+
+// Schedule is an injection script: steps at virtual offsets.
+type Schedule []Step
+
+// StepResult records one executed step.
+type StepResult struct {
+	Step
+	// FiredAt is the virtual offset at which Apply actually ran (>= At;
+	// late only if the previous step overran).
+	FiredAt time.Duration `json:"fired_at"`
+	// Err is the error Apply returned, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Jitter returns a copy of base with each offset deterministically
+// perturbed by up to ±frac of itself, drawn from rng — the seeded,
+// replayable randomness of a campaign schedule: the same rng state
+// yields the identical schedule. Order among steps is preserved even
+// when jittered windows overlap, so heals cannot jump ahead of the
+// faults they revert.
+func Jitter(rng *rand.Rand, base Schedule, frac float64) Schedule {
+	out := make(Schedule, len(base))
+	copy(out, base)
+	if frac <= 0 {
+		return out
+	}
+	for k := range out {
+		f := 1 + (rng.Float64()*2-1)*frac
+		out[k].At = time.Duration(float64(out[k].At) * f)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	for k := 1; k < len(out); k++ {
+		if out[k].At < out[k-1].At {
+			out[k].At = out[k-1].At
+		}
+	}
+	return out
+}
+
+// Execute runs the schedule against the injector's platform: it sleeps
+// on the virtual clock to each step's offset (measured from the moment
+// Execute is called) and applies the step, collecting per-step results.
+// Execution is strictly sequential in schedule order; a failing step is
+// recorded and does not stop the script (later heals must still run).
+func (i *Injector) Execute(sched Schedule) []StepResult {
+	ordered := make(Schedule, len(sched))
+	copy(ordered, sched)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].At < ordered[b].At })
+
+	start := i.clk.Now()
+	results := make([]StepResult, 0, len(ordered))
+	for _, st := range ordered {
+		if wait := st.At - i.clk.Since(start); wait > 0 {
+			i.clk.Sleep(wait)
+		}
+		res := StepResult{Step: st, FiredAt: i.clk.Since(start)}
+		res.Step.Apply = nil
+		if st.Apply != nil {
+			if err := st.Apply(i); err != nil {
+				res.Err = err.Error()
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}

@@ -1,0 +1,69 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Skewed is a Clock whose readings are offset from a base clock's by a
+// mutable amount — a node whose local clock has drifted from the rest
+// of the datacenter. Only the *reading* of time is skewed: Sleep, After
+// and the timer/ticker constructors delegate to the base clock
+// unchanged, because drift shifts a clock's value, not its rate (rate
+// error over the horizons simulated here is negligible next to offset
+// error, and NTP step corrections are exactly an offset change).
+//
+// A Skewed view is what a simulated node hands to the software running
+// on it: timestamps that software produces (log lines, status
+// envelopes, metric points) carry the node's skewed notion of "now",
+// while the durations it sleeps for remain true — which is how real
+// clock skew corrupts distributed systems.
+type Skewed struct {
+	base Clock
+
+	mu     sync.Mutex
+	offset time.Duration
+}
+
+var _ Clock = (*Skewed)(nil)
+
+// NewSkewed returns a view of base offset by the given amount
+// (positive = this clock runs ahead).
+func NewSkewed(base Clock, offset time.Duration) *Skewed {
+	return &Skewed{base: base, offset: offset}
+}
+
+// SetOffset changes the skew (an NTP step, or an injected fault).
+func (s *Skewed) SetOffset(d time.Duration) {
+	s.mu.Lock()
+	s.offset = d
+	s.mu.Unlock()
+}
+
+// Offset returns the current skew.
+func (s *Skewed) Offset() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offset
+}
+
+// Now implements Clock: the base clock's instant plus the skew.
+func (s *Skewed) Now() time.Time { return s.base.Now().Add(s.Offset()) }
+
+// Since implements Clock relative to this clock's skewed readings.
+func (s *Skewed) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep implements Clock on the base clock (durations are unskewed).
+func (s *Skewed) Sleep(d time.Duration) { s.base.Sleep(d) }
+
+// After implements Clock on the base clock.
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.base.After(d) }
+
+// AfterFunc implements Clock on the base clock.
+func (s *Skewed) AfterFunc(d time.Duration, f func()) Timer { return s.base.AfterFunc(d, f) }
+
+// NewTimer implements Clock on the base clock.
+func (s *Skewed) NewTimer(d time.Duration) Timer { return s.base.NewTimer(d) }
+
+// NewTicker implements Clock on the base clock.
+func (s *Skewed) NewTicker(d time.Duration) Ticker { return s.base.NewTicker(d) }

@@ -1,0 +1,59 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSkewedReadsOffsetTime(t *testing.T) {
+	clk := NewManual()
+	defer clk.Close()
+	sk := NewSkewed(clk, 45*time.Second)
+
+	if got, want := sk.Now(), clk.Now().Add(45*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	sk.SetOffset(-30 * time.Second)
+	if got, want := sk.Now(), clk.Now().Add(-30*time.Second); !got.Equal(want) {
+		t.Fatalf("after SetOffset, Now() = %v, want %v", got, want)
+	}
+	if got := sk.Offset(); got != -30*time.Second {
+		t.Fatalf("Offset() = %v", got)
+	}
+}
+
+func TestSkewedDurationsAreUnskewed(t *testing.T) {
+	clk := NewManual()
+	defer clk.Close()
+	sk := NewSkewed(clk, time.Hour)
+
+	// A timer on the skewed clock fires after d of *base* time: skew
+	// shifts readings, not rates.
+	fired := make(chan struct{})
+	go func() {
+		sk.Sleep(10 * time.Second)
+		close(fired)
+	}()
+	for clk.PendingEvents() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(9 * time.Second)
+	select {
+	case <-fired:
+		t.Fatal("sleep returned early")
+	default:
+	}
+	clk.Advance(2 * time.Second)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleep never returned")
+	}
+
+	// Since() is computed against the skewed reading.
+	start := sk.Now()
+	clk.Advance(7 * time.Second)
+	if got := sk.Since(start); got != 7*time.Second {
+		t.Fatalf("Since = %v, want 7s", got)
+	}
+}

@@ -48,6 +48,13 @@ const (
 	ResultsStoredMarker = "helper/results-stored"
 )
 
+// ResultModelKey is the results-bucket key where store-results persists
+// the trained model for a completed job. Verdict oracles check this key
+// to confirm a COMPLETED state is backed by an actual model object.
+func ResultModelKey(jobID string) string {
+	return fmt.Sprintf("models/%s/model.bin", jobID)
+}
+
 // Params configures the helper containers of one job.
 type Params struct {
 	Deps       *core.Deps
@@ -335,8 +342,7 @@ func runStoreResults(ctx *kube.ContainerCtx, p Params) int {
 	// Upload the trained model (a full parameter snapshot).
 	modelBytes := p.Manifest.ModelSpec().Params * 4
 	d.DataLink.Transfer(modelBytes)
-	key := fmt.Sprintf("models/%s/model.bin", p.JobID)
-	_ = d.ObjectStore.PutSynthetic(m.Results.Bucket, key, modelBytes, creds)
+	_ = d.ObjectStore.PutSynthetic(m.Results.Bucket, ResultModelKey(p.JobID), modelBytes, creds)
 
 	// Ship the final logs and metrics before declaring results stored:
 	// the Guardian tears the volume down right after the marker appears,

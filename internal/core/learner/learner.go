@@ -143,13 +143,19 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 	if err != nil {
 		return ExitVolumeError
 	}
+	// Local stamps (status records, log lines, metric points, eviction
+	// acks) read the node's clock — under injected clock skew these drift
+	// with the node, exactly as a real learner's would. Central job
+	// history stays on the core services' clock, which is why it must
+	// remain monotone even when learner-side stamps are skewed.
+	nodeClk := ctx.Clock()
 	writeStatus := func(s types.LearnerStatus) {
 		// The status file carries the shared control-plane envelope: the
 		// helper controller mirrors it into etcd verbatim-compatible form
 		// and the Guardian folds it into the job state — one schema from
 		// learner to LCM.
 		env := events.LearnerStatus(p.JobID, types.StatusUpdate{
-			Learner: p.Ordinal, Status: s, Time: d.Clock.Now(),
+			Learner: p.Ordinal, Status: s, Time: nodeClk.Now(),
 		})
 		raw, err := env.Encode()
 		if err != nil {
@@ -159,7 +165,7 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 	}
 	logf := func(format string, args ...any) {
 		line := fmt.Sprintf("%s learner-%d: %s\n",
-			d.Clock.Now().Format("15:04:05"), p.Ordinal, fmt.Sprintf(format, args...))
+			nodeClk.Now().Format("15:04:05"), p.Ordinal, fmt.Sprintf(format, args...))
 		vol.Append(LogPath(p.Ordinal), []byte(line))
 	}
 
@@ -273,7 +279,7 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 			return false
 		}
 		writeCheckpoint(d, m, resCreds, cfg, p.JobID, imagesDone)
-		env := events.EvictionAck(p.JobID, p.Ordinal, imagesDone, d.Clock.Now())
+		env := events.EvictionAck(p.JobID, p.Ordinal, imagesDone, nodeClk.Now())
 		if raw, err := env.Encode(); err == nil {
 			vol.Write(EvictAckPath(p.Ordinal), raw)
 		}
@@ -337,7 +343,7 @@ func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
 		}
 		vol.Write(ProgressPath(p.Ordinal), []byte(strconv.FormatInt(*imagesDone, 10)))
 		point := trainsim.MetricPoint{
-			ClusterSeconds: float64(d.Clock.Now().UnixNano()) / 1e9,
+			ClusterSeconds: float64(ctx.Clock().Now().UnixNano()) / 1e9,
 			Images:         *imagesDone,
 			Loss:           curve.LossAt(*imagesDone),
 			Restarts:       ctx.Restart(),

@@ -1,0 +1,399 @@
+package jobmonitor
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/core/types"
+	"repro/internal/etcd"
+	"repro/internal/kube"
+	"repro/internal/mongo"
+	"repro/internal/netsim"
+	"repro/internal/objectstore"
+)
+
+const (
+	testJobID  = "job-oracle-1"
+	testBucket = "results-test"
+)
+
+var testCreds = objectstore.Credentials{AccessKey: "ak", SecretKey: "sk"}
+
+// fixture wires a minimal set of real substrates (no running platform)
+// so the oracle's checks can be exercised against hand-built states.
+type fixture struct {
+	clk   *clock.Sim
+	jobs  *mongo.Collection
+	store *objectstore.Store
+	cfg   Config
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := clock.NewSim()
+	cluster := kube.NewCluster(kube.Config{Clock: clk},
+		kube.NodeSpec{Name: "n1", GPUs: 2, GPUType: "K80"})
+	ec := etcd.New(1, clk)
+	db := mongo.New(clk)
+	store := objectstore.New(clk, netsim.NewSharedLink(netsim.Ethernet1G, clk))
+	if err := store.CreateBucket(testBucket, testCreds); err != nil {
+		t.Fatalf("CreateBucket: %v", err)
+	}
+	t.Cleanup(func() {
+		cluster.Stop()
+		clk.Close()
+	})
+	jobs := db.Collection(core.JobsCollection)
+	return &fixture{
+		clk:   clk,
+		jobs:  jobs,
+		store: store,
+		cfg:   Config{Clock: clk, Jobs: jobs, Etcd: ec, Cluster: cluster, Store: store},
+	}
+}
+
+func (f *fixture) insertJob(t *testing.T, state types.JobState) {
+	t.Helper()
+	err := f.jobs.InsertOne(mongo.Document{
+		"_id":        testJobID,
+		"tenant":     "t1",
+		"state":      string(state),
+		"updated_at": f.clk.Now(),
+	})
+	if err != nil {
+		t.Fatalf("InsertOne: %v", err)
+	}
+}
+
+func (f *fixture) setState(t *testing.T, state types.JobState) {
+	t.Helper()
+	_, err := f.jobs.UpdateOne(mongo.Filter{"_id": testJobID}, mongo.Document{
+		"state":      string(state),
+		"updated_at": f.clk.Now(),
+	})
+	if err != nil {
+		t.Fatalf("UpdateOne(%s): %v", state, err)
+	}
+}
+
+// putLog ships a learner-0 log into the results bucket.
+func (f *fixture) putLog(t *testing.T, lines ...string) {
+	t.Helper()
+	key := fmt.Sprintf("logs/%s/learner-0.log", testJobID)
+	data := []byte(strings.Join(lines, "\n") + "\n")
+	if err := f.store.Put(testBucket, key, data, testCreds); err != nil {
+		t.Fatalf("Put log: %v", err)
+	}
+}
+
+func (f *fixture) putModel(t *testing.T) {
+	t.Helper()
+	key := fmt.Sprintf("models/%s/model.bin", testJobID)
+	if err := f.store.Put(testBucket, key, []byte("weights"), testCreds); err != nil {
+		t.Fatalf("Put model: %v", err)
+	}
+}
+
+func (f *fixture) watch(t *testing.T, expect Expect) *Monitor {
+	t.Helper()
+	m, err := Watch(f.cfg, JobRef{
+		ID: testJobID, Learners: 1, ResultsBucket: testBucket, Creds: testCreds,
+	}, expect)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	return m
+}
+
+func check(v Verdict, name string) Check {
+	for _, c := range v.Checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	return Check{Name: name, Detail: "check not rendered"}
+}
+
+func completionExpect() Expect {
+	return Expect{Terminal: []types.JobState{types.StateCompleted}, Deadline: time.Hour}
+}
+
+func TestVerdictPassesForCleanCompletion(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	f.putLog(t,
+		"learner 0 starting (incarnation 0) on node n1",
+		"checkpoint at 2000/4000 images (1024 bytes)",
+		"training complete: 4000 images",
+	)
+	f.putModel(t)
+
+	m := f.watch(t, completionExpect())
+	for _, s := range []types.JobState{
+		types.StateDeploying, types.StateProcessing, types.StateStoring, types.StateCompleted,
+	} {
+		f.clk.Sleep(time.Second)
+		f.setState(t, s)
+	}
+
+	v := m.Verdict()
+	if !v.Pass {
+		t.Fatalf("verdict failed: %+v", v.Checks)
+	}
+	if v.Terminal != types.StateCompleted {
+		t.Fatalf("terminal = %s, want COMPLETED", v.Terminal)
+	}
+	if len(v.Checks) != 5 {
+		t.Fatalf("got %d checks, want 5: %+v", len(v.Checks), v.Checks)
+	}
+}
+
+func TestVerdictFlagsIllegalTransition(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	f.putLog(t, "training complete: 4000 images")
+	f.putModel(t)
+
+	m := f.watch(t, completionExpect())
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateCompleted) // QUEUED -> COMPLETED skips the pipeline
+
+	v := m.Verdict()
+	if v.Pass {
+		t.Fatal("verdict passed despite illegal transition")
+	}
+	if c := check(v, "history-transitions"); c.Pass {
+		t.Fatalf("history-transitions passed: %+v", v.Checks)
+	} else if !strings.Contains(c.Detail, "QUEUED -> COMPLETED") {
+		t.Fatalf("detail %q does not name the transition", c.Detail)
+	}
+}
+
+func TestVerdictFlagsTimestampRegression(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	f.putLog(t, "training complete: 4000 images")
+	f.putModel(t)
+
+	m := f.watch(t, completionExpect())
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateDeploying)
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateProcessing)
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateStoring)
+	// A skewed writer stamps the terminal record in the past.
+	_, err := f.jobs.UpdateOne(mongo.Filter{"_id": testJobID}, mongo.Document{
+		"state":      string(types.StateCompleted),
+		"updated_at": f.clk.Now().Add(-time.Minute),
+	})
+	if err != nil {
+		t.Fatalf("UpdateOne: %v", err)
+	}
+
+	v := m.Verdict()
+	if c := check(v, "history-transitions"); c.Pass {
+		t.Fatalf("history-transitions passed despite regressed timestamp: %+v", v.Checks)
+	} else if !strings.Contains(c.Detail, "regress") {
+		t.Fatalf("detail %q does not mention regression", c.Detail)
+	}
+}
+
+func TestVerdictFlagsLostAckedWork(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	// The learner logged a durable checkpoint at 3000, then resumed at
+	// 1000: 2000 acknowledged images were lost.
+	f.putLog(t,
+		"checkpoint at 3000/4000 images (1024 bytes)",
+		"learner 0 starting (incarnation 1) on node n1",
+		"resumed from checkpoint at 1000/4000 images",
+		"training complete: 4000 images",
+	)
+	f.putModel(t)
+
+	m := f.watch(t, completionExpect())
+	for _, s := range []types.JobState{
+		types.StateDeploying, types.StateProcessing, types.StateStoring, types.StateCompleted,
+	} {
+		f.clk.Sleep(time.Second)
+		f.setState(t, s)
+	}
+
+	v := m.Verdict()
+	if c := check(v, "no-lost-acked-work"); c.Pass {
+		t.Fatalf("no-lost-acked-work passed: %+v", v.Checks)
+	} else if !strings.Contains(c.Detail, "lost 2000 acked images") {
+		t.Fatalf("detail %q does not quantify the loss", c.Detail)
+	}
+
+	// An on-demand (eviction-grace) checkpoint followed by a resume at
+	// the same point is NOT a loss.
+	f2 := newFixture(t)
+	f2.insertJob(t, types.StateQueued)
+	f2.putLog(t,
+		"on-demand checkpoint at 2500/4000 images (eviction grace)",
+		"resumed from checkpoint at 2500/4000 images",
+		"training complete: 4000 images",
+	)
+	f2.putModel(t)
+	m2 := f2.watch(t, completionExpect())
+	for _, s := range []types.JobState{
+		types.StateDeploying, types.StateProcessing, types.StateStoring, types.StateCompleted,
+	} {
+		f2.clk.Sleep(time.Second)
+		f2.setState(t, s)
+	}
+	if v2 := m2.Verdict(); !v2.Pass {
+		t.Fatalf("equal-point resume flagged as loss: %+v", v2.Checks)
+	}
+}
+
+func TestVerdictFlagsMissingLogAndModel(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	// No log, no model shipped.
+	m := f.watch(t, completionExpect())
+	for _, s := range []types.JobState{
+		types.StateDeploying, types.StateProcessing, types.StateStoring, types.StateCompleted,
+	} {
+		f.clk.Sleep(time.Second)
+		f.setState(t, s)
+	}
+
+	v := m.Verdict()
+	if c := check(v, "no-lost-acked-work"); c.Pass {
+		t.Fatalf("no-lost-acked-work passed with no shipped log: %+v", v.Checks)
+	}
+	if c := check(v, "metadata-consistent"); c.Pass {
+		t.Fatalf("metadata-consistent passed with no model object: %+v", v.Checks)
+	}
+}
+
+func TestVerdictLivenessDeadline(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	m := f.watch(t, Expect{
+		Terminal: []types.JobState{types.StateCompleted},
+		Deadline: 30 * time.Second,
+	})
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateDeploying) // then the job wedges
+
+	v := m.Verdict()
+	if v.Pass {
+		t.Fatal("verdict passed despite liveness breach")
+	}
+	if c := check(v, "liveness"); c.Pass {
+		t.Fatalf("liveness passed: %+v", v.Checks)
+	}
+	if c := check(v, "terminal-state"); c.Pass {
+		t.Fatalf("terminal-state passed for non-terminal DEPLOYING: %+v", v.Checks)
+	}
+	// Settlement checks are meaningless for a non-terminal job.
+	if len(v.Checks) != 3 {
+		t.Fatalf("got %d checks for wedged job, want 3: %+v", len(v.Checks), v.Checks)
+	}
+}
+
+func TestVerdictFlagsStaleEtcdKeys(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	f.putLog(t, "training complete: 4000 images")
+	f.putModel(t)
+	if _, err := f.cfg.Etcd.Put(types.JobPrefix(testJobID)+"learners/0/status", "PROCESSING"); err != nil {
+		t.Fatalf("etcd Put: %v", err)
+	}
+
+	m := f.watch(t, completionExpect())
+	for _, s := range []types.JobState{
+		types.StateDeploying, types.StateProcessing, types.StateStoring, types.StateCompleted,
+	} {
+		f.clk.Sleep(time.Second)
+		f.setState(t, s)
+	}
+
+	v := m.Verdict()
+	if c := check(v, "metadata-consistent"); c.Pass {
+		t.Fatalf("metadata-consistent passed with stale etcd keys: %+v", v.Checks)
+	} else if !strings.Contains(c.Detail, "stale etcd keys") {
+		t.Fatalf("detail %q does not name stale keys", c.Detail)
+	}
+}
+
+func TestWatchUnknownJobStillRendersVerdict(t *testing.T) {
+	f := newFixture(t)
+	// Job never created: the oracle should time out on the deadline, not
+	// hang or crash.
+	m := f.watch(t, Expect{
+		Terminal: []types.JobState{types.StateCompleted},
+		Deadline: 10 * time.Second,
+	})
+	v := m.Verdict()
+	if v.Pass {
+		t.Fatal("verdict passed for a job that never existed")
+	}
+	if v.Terminal != "" {
+		t.Fatalf("terminal = %q, want empty", v.Terminal)
+	}
+}
+
+func TestVerdictExpectedFailureIsLegal(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	f.putLog(t, "learner 0 starting (incarnation 0) on node n1")
+
+	m := f.watch(t, Expect{
+		Terminal: []types.JobState{types.StateFailed, types.StateHalted},
+		Deadline: time.Hour,
+	})
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateDeploying)
+	f.clk.Sleep(time.Second)
+	f.setState(t, types.StateFailed)
+
+	v := m.Verdict()
+	if !v.Pass {
+		t.Fatalf("expected-FAILED verdict did not pass: %+v", v.Checks)
+	}
+	if c := check(v, "terminal-state"); !c.Pass {
+		t.Fatalf("terminal-state failed for expected FAILED: %+v", c)
+	}
+}
+
+func TestEtcdUnreadableIsInconsistent(t *testing.T) {
+	f := newFixture(t)
+	f.insertJob(t, types.StateQueued)
+	f.putLog(t, "training complete: 4000 images")
+	f.putModel(t)
+
+	// Swap in a 3-node etcd and partition every node: quorum reads must
+	// fail and the oracle must report the inconsistency, not mask it. (A
+	// single-node cluster is its own quorum, so it cannot lose reads.)
+	ec := etcd.New(3, f.clk)
+	f.cfg.Etcd = ec
+	for _, id := range ec.Nodes() {
+		ec.PartitionNode(id)
+	}
+	if _, err := ec.Range(types.JobPrefix(testJobID)); err == nil {
+		t.Fatal("Range succeeded under full partition")
+	}
+
+	m := f.watch(t, completionExpect())
+	for _, s := range []types.JobState{
+		types.StateDeploying, types.StateProcessing, types.StateStoring, types.StateCompleted,
+	} {
+		f.clk.Sleep(time.Second)
+		f.setState(t, s)
+	}
+	v := m.Verdict()
+	if c := check(v, "metadata-consistent"); c.Pass {
+		t.Fatalf("metadata-consistent passed with etcd unreadable: %+v", v.Checks)
+	} else if !strings.Contains(c.Detail, "etcd unreadable") {
+		t.Fatalf("detail %q does not mention etcd", c.Detail)
+	}
+}

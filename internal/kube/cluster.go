@@ -120,14 +120,15 @@ type Cluster struct {
 	timing Timing
 	policy SchedulingPolicy
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	nodes    map[string]*Node
-	pods     map[string]*Pod
-	policies map[string]*NetworkPolicy
-	watchers []*watchSub
-	nameSeq  uint64
-	stopped  bool
+	mu         sync.Mutex
+	rng        *rand.Rand
+	nodes      map[string]*Node
+	pods       map[string]*Pod
+	policies   map[string]*NetworkPolicy
+	nodeClocks map[string]*clock.Skewed
+	watchers   []*watchSub
+	nameSeq    uint64
+	stopped    bool
 
 	ctrl  *controllerManager
 	reg   *registry
@@ -180,14 +181,15 @@ func NewCluster(cfg Config, nodes ...NodeSpec) *Cluster {
 		t = DefaultTiming()
 	}
 	c := &Cluster{
-		clk:      cfg.Clock,
-		nfs:      cfg.NFS,
-		timing:   t,
-		policy:   cfg.Scheduling,
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
-		nodes:    make(map[string]*Node),
-		pods:     make(map[string]*Pod),
-		policies: make(map[string]*NetworkPolicy),
+		clk:        cfg.Clock,
+		nfs:        cfg.NFS,
+		timing:     t,
+		policy:     cfg.Scheduling,
+		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		nodes:      make(map[string]*Node),
+		pods:       make(map[string]*Pod),
+		policies:   make(map[string]*NetworkPolicy),
+		nodeClocks: make(map[string]*clock.Skewed),
 	}
 	for _, ns := range nodes {
 		c.nodes[ns.Name] = &Node{Spec: ns, freeGPUs: ns.GPUs}
@@ -343,6 +345,63 @@ func (c *Cluster) DeletePod(name string) error {
 	}
 	p.kill(killDelete)
 	return nil
+}
+
+// DeletePodAndSnapshot kills the named pod and returns every pod
+// matching selector as of the same instant, all under one acquisition
+// of the registry lock — a single quiescent cut. Recovery measurements
+// need this atomicity: a replacement scheduled concurrently can neither
+// slip into the "before" set (hiding the recovery) nor be mistaken for
+// one (a pod created before the kill counting as the post-fault
+// replacement). The returned snapshot includes the victim.
+func (c *Cluster) DeletePodAndSnapshot(name string, selector map[string]string) ([]*Pod, error) {
+	c.mu.Lock()
+	victim := c.pods[name]
+	if victim == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("deleting pod %q: %w", name, ErrNoPod)
+	}
+	var snapshot []*Pod
+	for _, p := range c.pods {
+		if labelsMatch(p.Spec.Labels, selector) {
+			snapshot = append(snapshot, p)
+		}
+	}
+	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].Name() < snapshot[j].Name() })
+	victim.kill(killDelete)
+	c.mu.Unlock()
+	return snapshot, nil
+}
+
+// SetNodeSkew offsets the node's local clock from the cluster clock
+// (positive = the node's clock runs ahead). Software running in the
+// node's pods reads time through ContainerCtx.Clock, so its timestamps
+// drift while its sleep durations stay true — the clock-skew fault of
+// the dependability campaign. A zero offset heals the node.
+func (c *Cluster) SetNodeSkew(name string, offset time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[name]; !ok {
+		return fmt.Errorf("skewing node %q: %w", name, ErrNoNode)
+	}
+	if sk, ok := c.nodeClocks[name]; ok {
+		sk.SetOffset(offset)
+		return nil
+	}
+	c.nodeClocks[name] = clock.NewSkewed(c.clk, offset)
+	return nil
+}
+
+// NodeClock returns the named node's local clock: the cluster clock,
+// skewed by any offset injected with SetNodeSkew. Unknown or unskewed
+// nodes read the cluster clock directly.
+func (c *Cluster) NodeClock(name string) clock.Clock {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sk, ok := c.nodeClocks[name]; ok {
+		return sk
+	}
+	return c.clk
 }
 
 // CrashContainer kills the named container's process in place (exit 137).

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // killReason distinguishes why a pod is being terminated.
@@ -471,6 +473,15 @@ func (c *ContainerCtx) NodeName() string { return c.pod.nodeName() }
 
 // Cluster returns the owning cluster (for service registration et al.).
 func (c *ContainerCtx) Cluster() *Cluster { return c.pod.cluster }
+
+// Clock returns the hosting node's local clock — the cluster clock,
+// plus any skew injected with SetNodeSkew. Container processes must
+// stamp the artifacts they produce (logs, status, metrics) with this
+// clock, not the cluster clock: that is what makes clock-skew faults
+// observable end to end. Pending pods read the cluster clock.
+func (c *ContainerCtx) Clock() clock.Clock {
+	return c.pod.cluster.NodeClock(c.pod.nodeName())
+}
 
 // Sleep pauses for d of cluster time; it returns false if the process
 // was killed while sleeping.

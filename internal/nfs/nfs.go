@@ -36,6 +36,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	volumes map[string]*Volume
+	fault   FaultMode
 }
 
 // NewServer returns an NFS server on clk; file operations are charged
@@ -100,8 +101,12 @@ type Volume struct {
 // Name returns the volume name.
 func (v *Volume) Name() string { return v.name }
 
-// Write replaces the file's contents.
+// Write replaces the file's contents. In FaultError mode the write is
+// silently dropped (soft-mount EIO swallowed by the writer).
 func (v *Volume) Write(path string, data []byte) {
+	if v.srv.awaitHealthy() == FaultError {
+		return
+	}
 	v.srv.clk.Sleep(v.srv.link.Latency)
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -111,16 +116,24 @@ func (v *Volume) Write(path string, data []byte) {
 }
 
 // Append adds data to the end of the file, creating it if absent. This
-// is the learner's log-write primitive.
+// is the learner's log-write primitive. In FaultError mode the append
+// is silently dropped.
 func (v *Volume) Append(path string, data []byte) {
+	if v.srv.awaitHealthy() == FaultError {
+		return
+	}
 	v.srv.clk.Sleep(v.srv.link.Latency)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.files[path] = append(v.files[path], data...)
 }
 
-// Read returns a copy of the file's contents.
+// Read returns a copy of the file's contents. In FaultError mode it
+// fails with ErrFaulted.
 func (v *Volume) Read(path string) ([]byte, error) {
+	if v.srv.awaitHealthy() == FaultError {
+		return nil, fmt.Errorf("reading %s on %s: %w", path, v.name, ErrFaulted)
+	}
 	v.srv.clk.Sleep(v.srv.link.Latency)
 	v.mu.Lock()
 	defer v.mu.Unlock()

@@ -211,7 +211,7 @@ func New(opts Options) (*Platform, error) {
 		EvictionGracePeriod: grace,
 		Seed:                opts.Seed,
 	}, nodes...)
-	p.chaos = chaos.New(p.cluster)
+	p.chaos = chaos.New(p.cluster).AttachEtcd(p.etcd).AttachNFS(p.nfs)
 
 	p.deps = &core.Deps{
 		Clock:       p.clk,

@@ -1,8 +1,11 @@
 package dlaas
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,6 +16,19 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kube"
 )
+
+// The full-platform tests are sleep-bound on a virtual clock, not
+// CPU-bound, so test-level parallelism overlaps their idle windows even
+// on one core. On small boxes the -test.parallel default (GOMAXPROCS)
+// would serialize them and overrun go test's 10-minute package timeout;
+// raise the cap. An explicit -parallel flag on the command line still
+// wins — flag.Parse runs after TestMain sets this default.
+func TestMain(m *testing.M) {
+	if f := flag.Lookup("test.parallel"); f != nil && runtime.GOMAXPROCS(0) < 4 {
+		_ = f.Value.Set("4")
+	}
+	os.Exit(m.Run())
+}
 
 // testManifest builds a small, fast training job: one learner, one GPU,
 // a dataset sized so the whole job trains in a couple of cluster-minutes.
@@ -53,12 +69,16 @@ func newTestPlatform(t *testing.T, opts Options) *Platform {
 }
 
 // skipIfShort guards the full-platform replay tests (boot + train +
-// crash-inject) so `go test -short ./...` stays fast.
+// crash-inject) so `go test -short ./...` stays fast. Each guarded test
+// boots an isolated Platform on a private virtual clock, so they also
+// run in parallel — serially the full tier overruns go test's default
+// 10-minute package timeout.
 func skipIfShort(t *testing.T) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("full-platform replay test; skipped with -short")
 	}
+	t.Parallel()
 }
 
 func TestJobLifecycleEndToEnd(t *testing.T) {
