@@ -30,6 +30,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kube"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/trainsim"
 
 	"repro/internal/clock"
@@ -643,4 +644,68 @@ func BenchmarkTrainsimStepTime(b *testing.B) {
 		d = cfg.StepTime()
 	}
 	_ = d
+}
+
+// BenchmarkTraceOverhead measures what the tracing pipeline costs an
+// end-to-end job: identical single-learner quickstart runs with tracing
+// on (the default) versus off, reporting virtual completion latency,
+// recorded span count, and wall-clock per job. The deterministic span
+// recorder sits on every hot path (rpc calls, scheduler admission,
+// learner chunks), so "on" must stay within noise of "off" — the spans
+// are cheap map inserts under one mutex, no I/O.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, mode := range []string{"on", "off"} {
+		b.Run(mode, func(b *testing.B) {
+			p, err := dlaas.New(dlaas.Options{Tracing: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			client := p.Client("bench")
+			creds := dlaas.Credentials{AccessKey: "bench", SecretKey: "s"}
+			data, err := p.CreateDataset("bench-data", "train.rec", 1<<30, creds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results, err := p.CreateResultsBucket("bench-results", creds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := &dlaas.Manifest{
+				Name: "bench", Framework: "tensorflow", Model: "resnet50",
+				Learners: 1, GPUsPerLearner: 1, BatchPerGPU: 32, Epochs: 1,
+				DatasetImages: 2000, TrainingData: data, Results: results,
+				CheckpointInterval: 30 * time.Second,
+			}
+			clk := p.Clock()
+			var virtual time.Duration
+			var spans int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := clk.Now()
+				id, err := client.Submit(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.WaitForState(id, dlaas.StateCompleted, 3*time.Hour); err != nil {
+					b.Fatal(err)
+				}
+				virtual += clk.Since(start)
+				if t := p.Trace().Tree(id); t != nil {
+					var count func(sd *trace.SpanData) int
+					count = func(sd *trace.SpanData) int {
+						n := 1
+						for _, c := range sd.Children {
+							n += count(c)
+						}
+						return n
+					}
+					spans += count(t.Root)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(virtual.Seconds()/float64(b.N), "virtual-s/job")
+			b.ReportMetric(float64(spans)/float64(b.N), "spans/job")
+		})
+	}
 }

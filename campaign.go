@@ -20,7 +20,10 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/core/guardian"
+	"repro/internal/core/learner"
 	"repro/internal/jobmonitor"
+	"repro/internal/metrics"
 )
 
 // campaignTenant owns every campaign job and its buckets.
@@ -40,6 +43,12 @@ type scenario struct {
 	images int64
 	// expect lists the legal terminal states under this fault load.
 	expect []JobState
+	// expectBreach inverts the verdict's meaning: the injected fault is
+	// one the platform cannot fix (a learner that is alive but stuck),
+	// so the *correct* outcome is a liveness-deadline breach with the
+	// observed history still walking the state machine. The scenario
+	// passes iff the liveness check failed and history-transitions held.
+	expectBreach bool
 	// deadline is the liveness budget from submission (virtual time).
 	deadline time.Duration
 	// schedule builds the fault script. Steps carry symbolic targets;
@@ -281,6 +290,22 @@ func campaignMatrix() []scenario {
 			},
 		},
 		{
+			name:         "wedged-learner",
+			about:        "learner wedges alive-but-stuck (process up, status TRAINING, zero progress); invisible to crash detection, caught only by the liveness deadline",
+			learners:     1,
+			expect:       nil, // no terminal state is legal: the job is stuck
+			expectBreach: true,
+			deadline:     20 * time.Minute,
+			schedule: func(run *scenarioRun) chaos.Schedule {
+				return chaos.Schedule{
+					{At: 30 * time.Second, Fault: "wedge-volume", Target: "learner-volume",
+						Apply: func(i *chaos.Injector) error {
+							return i.WedgeVolumeFile(guardian.VolumeName(run.jobID), learner.WedgePath)
+						}},
+				}
+			},
+		},
+		{
 			name:     "halt-under-partition",
 			about:    "user halts the job while the etcd leader is partitioned; the halt lands on the majority side and the job ends HALTED",
 			opts:     Options{EtcdReplicas: 3},
@@ -332,7 +357,15 @@ type ScenarioResult struct {
 	// excluded from the fingerprint: goroutine interleaving legitimately
 	// shifts virtual timings run to run.
 	ElapsedVirtual time.Duration `json:"elapsed_virtual"`
-	Pass           bool          `json:"pass"`
+	// Metrics is the scenario platform's full metrics snapshot at verdict
+	// time — counters, gauges, and histogram quantiles. Diagnostic
+	// context only; excluded from the fingerprint.
+	Metrics metrics.Export `json:"metrics"`
+	// RecoveryNote is the traced recovery cost in one sentence, e.g.
+	// "nfs-flap cost 12.4 virtual s of recovery/stall on the critical
+	// path". Empty when the job produced no trace. Fingerprint-excluded.
+	RecoveryNote string `json:"recovery_note,omitempty"`
+	Pass         bool   `json:"pass"`
 }
 
 // Report is the campaign's machine-readable result.
@@ -501,6 +534,7 @@ func runScenario(s scenario, seed int64) (ScenarioResult, error) {
 		Etcd:    p.etcd,
 		Cluster: p.cluster,
 		Store:   p.store,
+		Trace:   p.trace,
 	}, jobmonitor.JobRef{
 		ID:            jobID,
 		Learners:      s.learners,
@@ -526,6 +560,31 @@ func runScenario(s scenario, seed int64) (ScenarioResult, error) {
 
 	res.Verdict = mon.Verdict()
 	res.ElapsedVirtual = p.clk.Since(start)
+	res.Metrics = p.metrics.Export()
+	if res.Verdict.RecoveryCost > 0 {
+		res.RecoveryNote = fmt.Sprintf("%s cost %.1f virtual s of recovery/stall on the critical path",
+			s.name, res.Verdict.RecoveryCost.Seconds())
+	}
 	res.Pass = res.Verdict.Pass
+	if s.expectBreach {
+		res.Pass = breachPass(res.Verdict)
+	}
 	return res, nil
+}
+
+// breachPass is the expectBreach override: the fault is by construction
+// unrecoverable, so the dependable outcome is the liveness deadline
+// firing (the breach was *detected*) while the history the platform did
+// record still walks the state machine.
+func breachPass(v jobmonitor.Verdict) bool {
+	liveness, transitions := false, false
+	for _, c := range v.Checks {
+		switch c.Name {
+		case "liveness":
+			liveness = !c.Pass
+		case "history-transitions":
+			transitions = c.Pass
+		}
+	}
+	return liveness && transitions
 }

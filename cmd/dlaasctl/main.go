@@ -8,6 +8,8 @@
 //	dlaasctl -scenario train          # submit and follow one job
 //	dlaasctl -scenario halt           # submit, then halt mid-training
 //	dlaasctl -scenario crash          # crash the learner mid-training
+//	dlaasctl -scenario trace          # train, then print the span tree
+//	                                    and critical-path attribution
 //	dlaasctl -learners 2 -model vgg16 -framework caffe
 //
 // Everything runs on the virtual clock: hours of training complete in
@@ -21,10 +23,12 @@ import (
 	"time"
 
 	dlaas "repro"
+
+	"repro/internal/trace"
 )
 
 func main() {
-	scenario := flag.String("scenario", "train", "train | halt | crash")
+	scenario := flag.String("scenario", "train", "train | halt | crash | trace")
 	model := flag.String("model", "resnet50", "model: vgg16 | resnet50 | inceptionv3 | alexnet | googlenet")
 	framework := flag.String("framework", "tensorflow", "framework: caffe | tensorflow | pytorch | torch | horovod")
 	learners := flag.Int("learners", 1, "number of learners")
@@ -78,7 +82,7 @@ func run(scenario, model, framework string, learners, epochs int, images int64) 
 		id, model, framework, learners, epochs, images)
 
 	switch scenario {
-	case "train":
+	case "train", "trace":
 	case "halt":
 		if _, err := client.WaitForState(id, dlaas.StateProcessing, time.Hour); err != nil {
 			return err
@@ -123,6 +127,17 @@ func run(scenario, model, framework string, learners, epochs int, images int64) 
 	if err == nil && logText != "" {
 		fmt.Println("\nlearner-0 training log:")
 		fmt.Print(logText)
+	}
+
+	if scenario == "trace" {
+		t := p.Trace().Tree(id)
+		if t == nil {
+			return fmt.Errorf("no trace recorded for job %s", id)
+		}
+		fmt.Println("\njob span tree (virtual time):")
+		fmt.Print(trace.FormatTree(t))
+		fmt.Println("\ncritical-path attribution:")
+		fmt.Print(trace.FormatAttribution(trace.CriticalPath(t)))
 	}
 	return nil
 }

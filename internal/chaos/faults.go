@@ -138,6 +138,25 @@ func (i *Injector) StallNFS() error {
 	return nil
 }
 
+// WedgeVolumeFile writes a marker file onto a job's shared volume — the
+// hook learners poll to simulate the alive-but-stuck failure mode (see
+// learner.WedgePath): the process stays up and keeps reporting TRAINING
+// but makes no progress, so only a liveness deadline can catch it.
+// Unlike flaps and partitions, the marker is volume state, not a server
+// fault — HealAll deliberately leaves it in place, because a wedged
+// process does not get better when the infrastructure does.
+func (i *Injector) WedgeVolumeFile(volume, path string) error {
+	if i.nfs == nil {
+		return fmt.Errorf("wedging volume %s: %w", volume, ErrNotAttached)
+	}
+	vol, err := i.nfs.Volume(volume)
+	if err != nil {
+		return fmt.Errorf("wedging volume %s: %w", volume, err)
+	}
+	vol.Write(path, []byte("wedged"))
+	return nil
+}
+
 // HealNFS ends a volume flap; stalled operations complete.
 func (i *Injector) HealNFS() error {
 	if i.nfs == nil {

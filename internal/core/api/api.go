@@ -23,6 +23,7 @@ import (
 	"repro/internal/kube"
 	"repro/internal/objectstore"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/trainsim"
 )
 
@@ -315,8 +316,10 @@ func (s *Service) submit(r SubmitRequest) (SubmitResponse, error) {
 	if err := s.deps.InsertJob(rec); err != nil {
 		return SubmitResponse{}, err
 	}
-	// Best-effort immediate dispatch.
-	_, _ = lcm.Call[lcm.DeployRequest, lcm.DeployResponse](s.deps.Bus, lcm.MethodDeploy, lcm.DeployRequest{JobID: id})
+	// Best-effort immediate dispatch, attributed to the job's trace so
+	// the submit->deploy RPC hop appears in the span tree.
+	ctx := trace.NewContext(context.Background(), trace.JobRoot(id))
+	_, _ = lcm.CallCtx[lcm.DeployRequest, lcm.DeployResponse](ctx, s.deps.Bus, lcm.MethodDeploy, lcm.DeployRequest{JobID: id})
 	_ = m
 	return SubmitResponse{JobID: id, State: types.StateQueued}, nil
 }

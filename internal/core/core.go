@@ -18,6 +18,7 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // Service names on the RPC fabric.
@@ -63,6 +64,9 @@ type Deps struct {
 	DefaultGPU gpu.Spec
 	// Metrics is the platform instrumentation registry (metering).
 	Metrics *metrics.Registry
+	// Trace is the platform span recorder; nil disables tracing (every
+	// trace API is nil-safe, so call sites need no guards).
+	Trace *trace.Recorder
 
 	jobSeq atomic.Uint64
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mongo"
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
+	"repro/internal/trace"
 )
 
 // DefaultMaxDeployAttempts is how many times deployment is retried
@@ -167,7 +168,18 @@ func Run(ctx *kube.ContainerCtx, p Params) int {
 		if _, err := d.TransitionJob(p.JobID, types.StateDeploying, fmt.Sprintf("attempt %d", attempts)); err != nil {
 			return 1
 		}
-		code, ok := deploy(ctx, p)
+		// First-time provisioning is deploy cost; a redeploy after a
+		// crash, preemption, or drain is recovery cost on the critical
+		// path (the journal's existence marks a prior deployment).
+		dspan := d.Trace.StartSpan(trace.JobRoot(p.JobID), "guardian-deploy")
+		if j != nil || attempts > 1 {
+			dspan.SetPhase(trace.PhaseRecovery)
+		} else {
+			dspan.SetPhase(trace.PhaseDeploy)
+		}
+		dspan.SetAttr("attempt", fmt.Sprintf("%d", attempts))
+		code, ok := deploy(ctx, p, dspan.Context())
+		dspan.End()
 		if !ok {
 			return code
 		}
@@ -177,8 +189,9 @@ func Run(ctx *kube.ContainerCtx, p Params) int {
 }
 
 // deploy provisions every job resource, journaling between steps. It
-// returns ok=false with the exit code when interrupted.
-func deploy(ctx *kube.ContainerCtx, p Params) (int, bool) {
+// returns ok=false with the exit code when interrupted. parentSpan
+// (the guardian-deploy span) parents the scheduler's gang-wait span.
+func deploy(ctx *kube.ContainerCtx, p Params, parentSpan trace.SpanContext) (int, bool) {
 	d := p.Deps
 	j := &journal{}
 	// Journal existence marks "deployment in progress" — it must be
@@ -238,6 +251,7 @@ func deploy(ctx *kube.ContainerCtx, p Params) (int, bool) {
 		Members:       p.Manifest.Learners,
 		GPUsPerMember: p.Manifest.GPUsPerLearner,
 		GPUType:       p.Manifest.GPUType,
+		Trace:         parentSpan,
 	})
 	if err != nil {
 		if errors.Is(err, kube.ErrGangUnsatisfiable) {
@@ -495,7 +509,10 @@ func handlePreemption(p Params) int {
 // the learners' NFS evict-request file (their checkpoint trigger).
 func relayEviction(p Params, intent kube.EvictionIntent) {
 	d := p.Deps
-	env := events.EvictionIntent(p.JobID, intent.Reason, intent.Deadline, d.Clock.Now())
+	root := trace.JobRoot(p.JobID)
+	d.Trace.Lookup(root).Event("eviction-intent:" + intent.Reason)
+	env := events.EvictionIntent(p.JobID, intent.Reason, intent.Deadline, d.Clock.Now()).
+		WithTrace(string(root.TraceID), root.SpanID.String())
 	raw, err := env.Encode()
 	if err != nil {
 		return

@@ -20,6 +20,7 @@ import (
 	"repro/internal/kube"
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
+	"repro/internal/trace"
 )
 
 // Poll cadences for the helper loops.
@@ -199,19 +200,22 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 					}
 				}
 			}
-			status := currentLearnerStatus(vol, l)
+			status, src := currentLearnerStatus(vol, l)
 			if status == "" {
 				continue
 			}
 			if journal.Last[key] == status {
 				continue
 			}
+			// The mirrored envelope is rebuilt (controller-stamped time and
+			// progress detail), but the learner's trace context is copied
+			// through — the etcd mirror stays on the job's span tree.
 			env := events.LearnerStatus(p.JobID, types.StatusUpdate{
 				Learner: l,
 				Status:  status,
 				Time:    d.Clock.Now(),
 				Detail:  progressDetail(vol, l),
-			})
+			}).WithTrace(src.TraceID, src.SpanID)
 			raw, err := env.Encode()
 			if err != nil {
 				noteDrop(l, "marshal", err)
@@ -235,23 +239,24 @@ func runController(ctx *kube.ContainerCtx, p Params) int {
 
 // currentLearnerStatus derives learner l's status from the shared volume:
 // the exit file wins (orderly termination), otherwise the status file
-// (an events.Envelope, or a bare status string from older learners).
-func currentLearnerStatus(vol *nfs.Volume, l int) types.LearnerStatus {
+// (an events.Envelope, or a bare status string from older learners). The
+// source envelope is returned alongside so the caller can propagate its
+// trace context; exit-derived statuses still carry the last status
+// envelope's context (legacy bare-string statuses carry none).
+func currentLearnerStatus(vol *nfs.Volume, l int) (types.LearnerStatus, events.Envelope) {
+	var src events.Envelope
+	if raw, err := vol.Read(learner.StatusPath(l)); err == nil {
+		if env, ok := events.Decode(raw); ok {
+			src = env
+		}
+	}
 	if code, ok := vol.ReadExitCode(l); ok {
 		if code == 0 {
-			return types.LearnerCompleted
+			return types.LearnerCompleted, src
 		}
-		return types.LearnerFailed
+		return types.LearnerFailed, src
 	}
-	raw, err := vol.Read(learner.StatusPath(l))
-	if err != nil {
-		return ""
-	}
-	env, ok := events.Decode(raw)
-	if !ok {
-		return ""
-	}
-	return types.LearnerStatus(env.Status)
+	return types.LearnerStatus(src.Status), src
 }
 
 func progressDetail(vol *nfs.Volume, l int) string {
@@ -340,6 +345,8 @@ func runStoreResults(ctx *kube.ContainerCtx, p Params) int {
 		}
 	}
 	// Upload the trained model (a full parameter snapshot).
+	ssp := d.Trace.StartSpan(trace.JobRoot(p.JobID), "store-results")
+	ssp.SetPhase(trace.PhaseStore)
 	modelBytes := p.Manifest.ModelSpec().Params * 4
 	d.DataLink.Transfer(modelBytes)
 	_ = d.ObjectStore.PutSynthetic(m.Results.Bucket, ResultModelKey(p.JobID), modelBytes, creds)
@@ -361,6 +368,7 @@ func runStoreResults(ctx *kube.ContainerCtx, p Params) int {
 	}
 
 	vol.Write(ResultsStoredMarker, []byte("ok"))
+	ssp.End()
 	<-ctx.Killed()
 	return 0
 }

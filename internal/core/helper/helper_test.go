@@ -98,22 +98,22 @@ func TestCurrentLearnerStatus(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No files yet: unknown.
-	if got := currentLearnerStatus(vol, 0); got != "" {
+	if got, _ := currentLearnerStatus(vol, 0); got != "" {
 		t.Fatalf("empty volume status = %q", got)
 	}
 	// Status file only.
 	vol.Write(learner.StatusPath(0), []byte(types.LearnerTraining))
-	if got := currentLearnerStatus(vol, 0); got != types.LearnerTraining {
+	if got, _ := currentLearnerStatus(vol, 0); got != types.LearnerTraining {
 		t.Fatalf("status = %q, want TRAINING", got)
 	}
 	// Exit file wins over the status file (orderly termination).
 	vol.WriteExitCode(0, 0)
-	if got := currentLearnerStatus(vol, 0); got != types.LearnerCompleted {
+	if got, _ := currentLearnerStatus(vol, 0); got != types.LearnerCompleted {
 		t.Fatalf("status = %q, want COMPLETED after exit 0", got)
 	}
 	vol.Write(learner.StatusPath(1), []byte(types.LearnerTraining))
 	vol.WriteExitCode(1, 5)
-	if got := currentLearnerStatus(vol, 1); got != types.LearnerFailed {
+	if got, _ := currentLearnerStatus(vol, 1); got != types.LearnerFailed {
 		t.Fatalf("status = %q, want FAILED after exit 5", got)
 	}
 }

@@ -35,6 +35,11 @@ func (d *Deps) InsertJob(rec types.JobRecord) error {
 	if err := d.Jobs().InsertOne(doc); err != nil {
 		return fmt.Errorf("inserting job %s: %w", rec.ID, err)
 	}
+	// The job's trace root opens at the durability point; every later
+	// span (scheduler, guardian, learner) parents under trace.JobRoot.
+	root := d.Trace.RootAt(rec.ID, rec.SubmittedAt)
+	root.SetAttr("tenant", rec.Tenant)
+	root.EventAt("state:"+string(rec.State), rec.SubmittedAt)
 	return nil
 }
 
@@ -85,6 +90,7 @@ func (d *Deps) JobHistory(id string) ([]types.Event, error) {
 // Terminal states are never overwritten.
 func (d *Deps) TransitionJob(id string, to types.JobState, reason string) (types.JobRecord, error) {
 	now := d.Clock.Now()
+	changed := false
 	doc, err := d.Jobs().Mutate(mongo.Filter{"_id": id}, func(doc mongo.Document) error {
 		from := types.JobState(asString(doc["state"]))
 		if from == to {
@@ -104,6 +110,7 @@ func (d *Deps) TransitionJob(id string, to types.JobState, reason string) (types
 		if raw, err := json.Marshal(hist); err == nil {
 			doc["history"] = string(raw)
 		}
+		changed = true
 		return nil
 	})
 	if err != nil {
@@ -111,6 +118,17 @@ func (d *Deps) TransitionJob(id string, to types.JobState, reason string) (types
 			return types.JobRecord{}, fmt.Errorf("job %s: %w", id, ErrJobNotFound)
 		}
 		return types.JobRecord{}, err
+	}
+	// This is the single choke point every real state change passes
+	// through (API, LCM, Guardian), so the trace root's lifecycle
+	// events live here; a terminal state closes the root span.
+	if changed && d.Trace != nil {
+		root := d.Trace.RootAt(id, now)
+		root.EventAt("state:"+string(to), now)
+		if to.Terminal() {
+			root.SetAttr("terminal", string(to))
+			root.EndAt(now)
+		}
 	}
 	return docToRecord(doc), nil
 }

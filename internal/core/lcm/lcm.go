@@ -325,8 +325,14 @@ func (s *Service) halt(jobID string) (HaltResponse, error) {
 
 // Call is a typed client helper for other services and tests.
 func Call[Req, Resp any](bus *rpc.Bus, method string, req Req) (Resp, error) {
+	return CallCtx[Req, Resp](context.Background(), bus, method, req)
+}
+
+// CallCtx is Call with a caller context, so callers holding a trace
+// span context (trace.NewContext) get the call recorded as a span.
+func CallCtx[Req, Resp any](ctx context.Context, bus *rpc.Bus, method string, req Req) (Resp, error) {
 	var zero Resp
-	out, err := bus.Call(context.Background(), core.LCMService, method, req)
+	out, err := bus.Call(ctx, core.LCMService, method, req)
 	if err != nil {
 		return zero, err
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
+	"repro/internal/trace"
 	"repro/internal/trainsim"
 )
 
@@ -42,6 +43,18 @@ const (
 // statusPollGrain is how finely training sleep is chunked so that kills
 // are observed promptly and logs accrue steadily.
 const maxChunks = 64
+
+// WedgePath is the NFS file whose presence wedges the job's learners: a
+// fault-injection hook for the alive-but-stuck failure mode. A wedged
+// learner keeps its process alive and its status TRAINING but makes no
+// progress — invisible to exit-code and crash detection, caught only by
+// the Guardian's progress-liveness deadline.
+const WedgePath = "chaos/wedge"
+
+// nfsStallThreshold is how much a training chunk must overrun its
+// expected compute time before the excess is attributed to a shared-
+// volume stall (NFS operations block in virtual time during a flap).
+const nfsStallThreshold = 2 * time.Second
 
 // Params configures one learner container.
 type Params struct {
@@ -149,14 +162,30 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 	// history stays on the core services' clock, which is why it must
 	// remain monotone even when learner-side stamps are skewed.
 	nodeClk := ctx.Clock()
+
+	// One attempt span per incarnation, parented directly under the job
+	// root (trace.JobRoot is derivable, so re-parenting after a crash
+	// needs no propagated state). Span timestamps read the central clock:
+	// critical-path math must stay consistent under injected node skew.
+	tr := d.Trace
+	attempt := tr.StartSpan(trace.JobRoot(p.JobID), fmt.Sprintf("learner-%d", p.Ordinal))
+	attempt.SetAttr("node", ctx.NodeName())
+	attempt.SetAttr("incarnation", strconv.Itoa(ctx.Restart()))
+	defer attempt.End()
+	attemptTraceID, attemptSpanID := "", ""
+	if sc := attempt.Context(); sc.Valid() {
+		attemptTraceID, attemptSpanID = string(sc.TraceID), sc.SpanID.String()
+	}
+
 	writeStatus := func(s types.LearnerStatus) {
 		// The status file carries the shared control-plane envelope: the
 		// helper controller mirrors it into etcd verbatim-compatible form
 		// and the Guardian folds it into the job state — one schema from
-		// learner to LCM.
+		// learner to LCM. The attempt's trace context rides along so the
+		// span tree covers the status path end to end.
 		env := events.LearnerStatus(p.JobID, types.StatusUpdate{
 			Learner: p.Ordinal, Status: s, Time: nodeClk.Now(),
-		})
+		}).WithTrace(attemptTraceID, attemptSpanID)
 		raw, err := env.Encode()
 		if err != nil {
 			raw = []byte(s) // legacy bare-string form, still decodable
@@ -179,6 +208,8 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 	// partially placed gang never trains alone ("setting up network
 	// (MPI) interconnections" is part of atomic provisioning).
 	if m.Learners > 1 {
+		rsp := tr.StartSpan(attempt.Context(), "rendezvous")
+		rsp.SetPhase(trace.PhaseRendezvous)
 		for {
 			ready := 0
 			for l := 0; l < m.Learners; l++ {
@@ -190,9 +221,11 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 				break
 			}
 			if !ctx.Sleep(time.Second) {
+				rsp.End()
 				return exitKilled()
 			}
 		}
+		rsp.End()
 		logf("rendezvous complete: %d learners connected", m.Learners)
 	}
 	dataCreds := objectstore.Credentials{AccessKey: m.TrainingData.AccessKey, SecretKey: m.TrainingData.SecretKey}
@@ -225,14 +258,22 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 
 	// Resume from the latest checkpoint, if any. The checkpoint download
 	// is a real transfer — part of why learner recovery is the slowest
-	// in Fig. 4.
+	// in Fig. 4. The span is recorded retroactively (once the listing
+	// says there is something to resume) and tagged as recovery cost.
+	resumeStart := d.Clock.Now()
 	imagesDone := latestCheckpoint(d, m, resCreds, p.JobID)
 	if imagesDone > 0 {
 		d.DataLink.Transfer(cfg.CheckpointBytes())
+		sp := tr.StartSpanAt(attempt.Context(), "resume-checkpoint", resumeStart)
+		sp.SetPhase(trace.PhaseRecovery)
+		sp.SetAttr("images", strconv.FormatInt(imagesDone, 10))
+		sp.EndAt(d.Clock.Now())
 		logf("resumed from checkpoint at %d/%d images", imagesDone, totalImages)
 	}
 
 	// Warm the input pipeline: stream the first shard of the epoch.
+	dsp := tr.StartSpan(attempt.Context(), "download")
+	dsp.SetPhase(trace.PhaseDownload)
 	writeStatus(types.LearnerDownloading)
 	shard := dataObj.Size / int64(m.Learners)
 	if shard > 0 {
@@ -242,6 +283,7 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 		}
 		d.DataLink.Transfer(warm)
 	}
+	dsp.End()
 
 	writeStatus(types.LearnerTraining)
 	logf("training %s/%s on %d GPU(s) x %d learner(s), batch %d",
@@ -275,6 +317,9 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 			return true
 		}
 		graceAcked = true
+		esp := tr.StartSpan(attempt.Context(), "evict-grace")
+		esp.SetPhase(trace.PhaseEvict)
+		defer esp.End()
 		if !ctx.Sleep(cfg.CheckpointStallTime()) {
 			return false
 		}
@@ -292,13 +337,22 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 		if target > totalImages {
 			target = totalImages
 		}
-		if !trainSpan(ctx, d, vol, p, cfg, stepTime, stepImages, &imagesDone, target, graceCheckpoint, logf) {
+		tsp := tr.StartSpan(attempt.Context(), "train")
+		tsp.SetPhase(trace.PhaseTrain)
+		tsp.SetAttr("target", strconv.FormatInt(target, 10))
+		ok := trainSpan(ctx, d, vol, p, cfg, stepTime, stepImages, &imagesDone, target, tsp.Context(), graceCheckpoint, logf)
+		tsp.End()
+		if !ok {
 			// Killed mid-training: this incarnation ends as a crash;
 			// the recovered learner resumes from the last checkpoint.
 			return exitKilled()
 		}
 		if imagesDone < totalImages && m.CheckpointInterval > 0 {
+			csp := tr.StartSpan(attempt.Context(), "checkpoint")
+			csp.SetPhase(trace.PhaseCheckpoint)
+			csp.SetAttr("images", strconv.FormatInt(imagesDone, 10))
 			writeCheckpoint(d, m, resCreds, cfg, p.JobID, imagesDone)
+			csp.End()
 			logf("checkpoint at %d/%d images (%d bytes)", imagesDone, totalImages, cfg.CheckpointBytes())
 		}
 	}
@@ -306,6 +360,7 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 	writeStatus(types.LearnerCompleted)
 	logf("training complete: %d images", imagesDone)
 	vol.WriteExitCode(p.Ordinal, ExitOK)
+	attempt.End()
 
 	// Hold the container open: completion is signaled through the exit
 	// file; the Guardian tears the StatefulSet down after storing
@@ -316,10 +371,15 @@ func run(ctx *kube.ContainerCtx, p Params) int {
 
 // trainSpan advances training to target images, sleeping in chunks so the
 // process observes kills, publishes progress, and answers eviction
-// intents (onChunk) promptly. It reports false when killed.
+// intents (onChunk) promptly. It reports false when killed. Each chunk is
+// timed on the central clock against its expected compute time; the
+// excess — NFS operations blocking through a volume flap — is recorded
+// retroactively as an "nfs-stall" child of parent, so the critical path
+// separates stalled wall time from productive training.
 func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
 	cfg trainsim.Config, stepTime time.Duration, stepImages int64,
-	imagesDone *int64, target int64, onChunk func(int64) bool, logf func(string, ...any)) bool {
+	imagesDone *int64, target int64, parent trace.SpanContext,
+	onChunk func(int64) bool, logf func(string, ...any)) bool {
 
 	remaining := target - *imagesDone
 	steps := (remaining + stepImages - 1) / stepImages
@@ -329,12 +389,26 @@ func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
 	}
 	curve := trainsim.CurveFor(cfg.Model, 42)
 	for *imagesDone < target {
+		// Wedge hook: the marker file turns this learner into the
+		// alive-but-stuck failure mode — process up, status TRAINING,
+		// zero progress. The open-ended span makes the hang visible on
+		// the trace; only the liveness deadline can catch it.
+		if vol.Exists(WedgePath) {
+			wsp := d.Trace.StartSpan(parent, "wedged")
+			wsp.SetPhase(trace.PhaseStall)
+			wsp.SetAttr("images", strconv.FormatInt(*imagesDone, 10))
+			logf("wedged at %d images: process alive, no progress", *imagesDone)
+			<-ctx.Killed()
+			return false
+		}
 		n := chunkSteps
 		left := (target - *imagesDone + stepImages - 1) / stepImages
 		if n > left {
 			n = left
 		}
-		if !ctx.Sleep(time.Duration(n) * stepTime) {
+		expected := time.Duration(n) * stepTime
+		chunkStart := d.Clock.Now()
+		if !ctx.Sleep(expected) {
 			return false
 		}
 		*imagesDone += n * stepImages
@@ -350,6 +424,11 @@ func trainSpan(ctx *kube.ContainerCtx, d *core.Deps, vol *nfs.Volume, p Params,
 		}
 		if raw, err := json.Marshal(point); err == nil {
 			vol.Append(MetricsPath(p.Ordinal), append(raw, '\n'))
+		}
+		if excess := d.Clock.Now().Sub(chunkStart) - expected; excess > nfsStallThreshold {
+			sp := d.Trace.StartSpanAt(parent, "nfs-stall", chunkStart.Add(expected))
+			sp.SetPhase(trace.PhaseStall)
+			sp.EndAt(chunkStart.Add(expected + excess))
 		}
 		if !onChunk(*imagesDone) {
 			return false

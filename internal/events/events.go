@@ -73,6 +73,23 @@ type Envelope struct {
 	// Images is the checkpointed training progress (KindEvictionAck
 	// only): the image count the job resumes from after the eviction.
 	Images int64 `json:"images,omitempty"`
+	// TraceID/SpanID carry the producer's trace context (the job's
+	// trace and the span active when the event was produced) so
+	// mirrored copies of the event — NFS status file, etcd key, job
+	// record — stay attributable to one span tree. Empty on envelopes
+	// from pre-tracing components; Decode tolerates their absence.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// WithTrace returns a copy of the envelope stamped with a span
+// context. A zero/invalid context leaves the envelope unchanged.
+func (e Envelope) WithTrace(traceID, spanID string) Envelope {
+	if traceID != "" && spanID != "" {
+		e.TraceID = traceID
+		e.SpanID = spanID
+	}
+	return e
 }
 
 // LearnerStatus builds a learner-status envelope.

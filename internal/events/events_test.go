@@ -72,3 +72,33 @@ func TestJobStateEnvelope(t *testing.T) {
 		t.Fatalf("job-state decode = %+v (ok=%v)", got, ok)
 	}
 }
+
+// TestDecodeWithoutTraceFields pins the legacy-tolerance contract for
+// the tracing fields: envelopes written before tracing existed (no
+// trace_id/span_id keys) must decode cleanly with empty trace context,
+// and traced envelopes must round-trip both fields.
+func TestDecodeWithoutTraceFields(t *testing.T) {
+	legacy := []byte(`{"kind":"learner-status","job_id":"job-1","learner":0,"status":"TRAINING","time":"2020-01-01T00:00:00Z"}`)
+	got, ok := Decode(legacy)
+	if !ok || got.Status != "TRAINING" {
+		t.Fatalf("legacy decode = %+v (ok=%v)", got, ok)
+	}
+	if got.TraceID != "" || got.SpanID != "" {
+		t.Fatalf("legacy envelope grew trace context: %+v", got)
+	}
+
+	traced := got.WithTrace("job-1", "00000000deadbeef")
+	raw, err := traced.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := Decode(raw)
+	if !ok || back.TraceID != "job-1" || back.SpanID != "00000000deadbeef" {
+		t.Fatalf("traced round-trip = %+v (ok=%v)", back, ok)
+	}
+
+	// WithTrace with an empty context is a no-op.
+	if e := got.WithTrace("", ""); e.TraceID != "" || e.SpanID != "" {
+		t.Fatalf("empty WithTrace stamped fields: %+v", e)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/kube"
 	"repro/internal/mongo"
 	"repro/internal/objectstore"
+	"repro/internal/trace"
 )
 
 // Config hands the oracle read access to the platform substrates. The
@@ -45,6 +46,10 @@ type Config struct {
 	Etcd    *etcd.Store
 	Cluster *kube.Cluster
 	Store   *objectstore.Store
+	// Trace, when set, enriches the verdict with the job's critical-path
+	// phase attribution and recovery cost. The timing never feeds the
+	// pass/fail checks or the campaign fingerprint.
+	Trace *trace.Recorder
 }
 
 // JobRef identifies the job under observation and how to reach its
@@ -72,12 +77,18 @@ type Check struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Verdict is the oracle's judgment of one job.
+// Verdict is the oracle's judgment of one job. CriticalPath and
+// RecoveryCost are diagnostic context from the job's trace — what the
+// faults actually cost on the critical path, in virtual time — and are
+// deliberately excluded from fingerprinting (timing is environment-
+// sensitive in ways the pass/fail checks are not).
 type Verdict struct {
-	JobID    string         `json:"job_id"`
-	Terminal types.JobState `json:"terminal,omitempty"`
-	Checks   []Check        `json:"checks"`
-	Pass     bool           `json:"pass"`
+	JobID        string            `json:"job_id"`
+	Terminal     types.JobState    `json:"terminal,omitempty"`
+	Checks       []Check           `json:"checks"`
+	Pass         bool              `json:"pass"`
+	CriticalPath []trace.PhaseCost `json:"critical_path,omitempty"`
+	RecoveryCost time.Duration     `json:"recovery_cost,omitempty"`
 }
 
 // observation is one state change seen on the feed.
@@ -234,6 +245,15 @@ func (m *Monitor) Verdict() Verdict {
 	v.Pass = true
 	for _, c := range v.Checks {
 		v.Pass = v.Pass && c.Pass
+	}
+
+	// Attach the traced cost of whatever happened to this job: which
+	// phases its wall time went to, and how much of the critical path
+	// was recovery/stall/evict work caused by the injected faults.
+	if t := m.cfg.Trace.Tree(m.ref.ID); t != nil {
+		att := trace.CriticalPath(t)
+		v.CriticalPath = att.Phases
+		v.RecoveryCost = att.Recovery
 	}
 	return v
 }

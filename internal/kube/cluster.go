@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/nfs"
+	"repro/internal/trace"
 )
 
 // Common errors.
@@ -111,6 +112,9 @@ type Config struct {
 	EvictionGracePeriod time.Duration
 	// Seed makes delay jitter reproducible.
 	Seed int64
+	// Trace optionally records gang-admission and container-boot spans
+	// (queue wait, image pull) into job traces. Nil disables.
+	Trace *trace.Recorder
 }
 
 // Cluster is the simulated Kubernetes control plane plus its nodes.
@@ -119,6 +123,7 @@ type Cluster struct {
 	nfs    *nfs.Server
 	timing Timing
 	policy SchedulingPolicy
+	trace  *trace.Recorder
 
 	mu         sync.Mutex
 	rng        *rand.Rand
@@ -184,6 +189,7 @@ func NewCluster(cfg Config, nodes ...NodeSpec) *Cluster {
 		clk:        cfg.Clock,
 		nfs:        cfg.NFS,
 		timing:     t,
+		trace:      cfg.Trace,
 		policy:     cfg.Scheduling,
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
 		nodes:      make(map[string]*Node),

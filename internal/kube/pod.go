@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // killReason distinguishes why a pod is being terminated.
@@ -266,8 +267,21 @@ func (p *Pod) superviseContainer(cs *containerState, wgStart *sync.WaitGroup) {
 			p.mu.Unlock()
 		}
 		// Boot delay (image/runtime dependent).
+		pullStart := p.cluster.clk.Now()
 		if !p.interruptibleSleep(p.cluster.jitter(cs.spec.StartDelay)) {
 			return
+		}
+		// A job-labeled pod's boot delay is traced as an image-pull span
+		// in the job's trace; re-pulls after a crash are recovery cost.
+		if jobID := p.Spec.Labels["job"]; jobID != "" && p.cluster.trace != nil {
+			sp := p.cluster.trace.StartSpanAt(trace.JobRoot(jobID),
+				"image-pull:"+p.Spec.Name+"/"+cs.spec.Name, pullStart)
+			if incarnation > 0 {
+				sp.SetPhase(trace.PhaseRecovery)
+			} else {
+				sp.SetPhase(trace.PhaseImagePull)
+			}
+			sp.EndAt(p.cluster.clk.Now())
 		}
 		procKill := make(chan struct{})
 		cs.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // Gang scheduling errors.
@@ -98,6 +99,10 @@ type GangSpec struct {
 	GPUsPerMember int
 	// GPUType optionally constrains the nodes' GPU type.
 	GPUType string
+	// Trace optionally parents the scheduler's gang-admission span
+	// (queue wait, backfill/preemption decisions) into the owner's
+	// trace. Zero disables.
+	Trace trace.SpanContext
 }
 
 // TotalGPUs is the gang's aggregate demand.
@@ -123,6 +128,7 @@ type Gang struct {
 	intent      *EvictionIntent
 	noticeCh    chan struct{} // closed when an eviction intent is posted
 	graceTimer  clock.Timer   // deadline backstop; stopped on early completion
+	span        *trace.Span   // queue-wait span (nil when tracing is off)
 }
 
 // Name returns the gang's name.
@@ -278,6 +284,8 @@ func (c *Cluster) SubmitGang(spec GangSpec) (*Gang, error) {
 		evictedCh:   make(chan struct{}),
 		noticeCh:    make(chan struct{}),
 	}
+	g.span = c.trace.StartSpan(spec.Trace, "gang-wait")
+	g.span.SetPhase(trace.PhaseQueue)
 	s.gangs[spec.Name] = g
 	s.queue.push(g)
 	s.rescheduleLocked()
@@ -315,6 +323,10 @@ func (c *Cluster) CancelGang(name string) {
 	g := s.gangs[name]
 	var victims []*Pod
 	if g != nil {
+		if g.span != nil && !g.span.Ended() {
+			g.span.SetAttr("outcome", "cancelled")
+			g.span.End()
+		}
 		victims = s.evictLocked(g, GangReleased)
 		delete(s.gangs, name)
 		s.rescheduleLocked()
@@ -353,6 +365,7 @@ func (s *gangScheduler) postIntentLocked(g *Gang, reason string) {
 	g.state = GangEvicting
 	g.intent = &EvictionIntent{Reason: reason, PostedAt: now, Deadline: now.Add(s.grace)}
 	close(g.noticeCh)
+	g.span.Event("eviction-intent:" + reason)
 	g.mu.Unlock()
 	// The deadline backstop: a wedged owner that never acks cannot hold
 	// the capacity past the grace period. The timer handle is installed
@@ -724,6 +737,10 @@ func (s *gangScheduler) admitLocked(g *Gang, plan map[*Node]int, viaBackfill boo
 	g.state = GangAdmitted
 	g.admittedAt = s.c.clk.Now()
 	close(g.admittedCh)
+	if g.span != nil {
+		g.span.SetAttr("backfill", fmt.Sprintf("%v", viaBackfill))
+		g.span.End()
+	}
 	g.mu.Unlock()
 	s.queue.remove(g)
 	return true

@@ -110,11 +110,55 @@ func (r *Registry) Observe(name string, d time.Duration, labels ...string) {
 	h.n++
 }
 
-// HistogramStats summarizes a histogram.
+// HistogramStats summarizes a histogram, including its full bucket
+// detail: Bounds are the inclusive upper bounds, Counts has one entry
+// per bound plus a final overflow bucket, so quantile claims are
+// computed from the real distribution rather than the mean.
 type HistogramStats struct {
-	Count int64
-	Sum   time.Duration
-	Mean  time.Duration
+	Count  int64
+	Sum    time.Duration
+	Mean   time.Duration
+	Bounds []time.Duration
+	Counts []int64
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket containing the target rank.
+// Samples in the overflow bucket clamp to the highest finite bound.
+func (s HistogramStats) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	top := s.Bounds[len(s.Bounds)-1]
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return top
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + time.Duration(float64(hi-lo)*frac)
+	}
+	return top
 }
 
 // Histogram reads the named histogram's summary.
@@ -125,13 +169,29 @@ func (r *Registry) Histogram(name string, labels ...string) HistogramStats {
 	if h == nil || h.n == 0 {
 		return HistogramStats{}
 	}
-	return HistogramStats{Count: h.n, Sum: h.sum, Mean: h.sum / time.Duration(h.n)}
+	return HistogramStats{
+		Count:  h.n,
+		Sum:    h.sum,
+		Mean:   h.sum / time.Duration(h.n),
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+	}
+}
+
+// Quantile reads the q-quantile of the named histogram.
+func (r *Registry) Quantile(name string, q float64, labels ...string) time.Duration {
+	return r.Histogram(name, labels...).Quantile(q)
 }
 
 // Snapshot renders every instrument, sorted by name, one per line.
 func (r *Registry) Snapshot() string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	hs := make(map[string]HistogramStats, len(r.histograms))
+	for k, h := range r.histograms {
+		hs[k] = HistogramStats{Count: h.n, Sum: h.sum,
+			Bounds: append([]time.Duration(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...)}
+	}
 	var lines []string
 	for k, v := range r.counters {
 		lines = append(lines, fmt.Sprintf("counter %s %.0f", k, v))
@@ -139,13 +199,169 @@ func (r *Registry) Snapshot() string {
 	for k, v := range r.gauges {
 		lines = append(lines, fmt.Sprintf("gauge %s %g", k, v))
 	}
-	for k, h := range r.histograms {
+	r.mu.Unlock()
+	for k, h := range hs {
 		mean := time.Duration(0)
-		if h.n > 0 {
-			mean = h.sum / time.Duration(h.n)
+		if h.Count > 0 {
+			mean = h.Sum / time.Duration(h.Count)
 		}
-		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%v", k, h.n, mean))
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%v p50=%v p95=%v p99=%v",
+			k, h.Count, mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
+}
+
+// HistogramExport is a histogram in Export form.
+type HistogramExport struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean"`
+	P50   time.Duration `json:"p50"`
+	P95   time.Duration `json:"p95"`
+	P99   time.Duration `json:"p99"`
+}
+
+// Export is a structured point-in-time snapshot of the registry,
+// suitable for embedding in JSON reports (campaign verdicts).
+type Export struct {
+	Counters   map[string]float64         `json:"counters,omitempty"`
+	Gauges     map[string]float64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramExport `json:"histograms,omitempty"`
+}
+
+// Export snapshots every instrument with real-bucket quantiles.
+func (r *Registry) Export() Export {
+	r.mu.Lock()
+	out := Export{}
+	if len(r.counters) > 0 {
+		out.Counters = make(map[string]float64, len(r.counters))
+		for k, v := range r.counters {
+			out.Counters[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			out.Gauges[k] = v
+		}
+	}
+	hs := make(map[string]HistogramStats, len(r.histograms))
+	for k, h := range r.histograms {
+		hs[k] = HistogramStats{Count: h.n, Sum: h.sum,
+			Bounds: append([]time.Duration(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...)}
+	}
+	r.mu.Unlock()
+	if len(hs) > 0 {
+		out.Histograms = make(map[string]HistogramExport, len(hs))
+		for k, h := range hs {
+			mean := time.Duration(0)
+			if h.Count > 0 {
+				mean = h.Sum / time.Duration(h.Count)
+			}
+			out.Histograms[k] = HistogramExport{
+				Count: h.Count, Mean: mean,
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// splitKey undoes key(): "name{a,b}" -> ("name", "a,b").
+func splitKey(k string) (name, labels string) {
+	if i := strings.IndexByte(k, '{'); i >= 0 && strings.HasSuffix(k, "}") {
+		return k[:i], k[i+1 : len(k)-1]
+	}
+	return k, ""
+}
+
+func promLine(b *strings.Builder, name, labels, extra string, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		if labels != "" {
+			fmt.Fprintf(b, "labels=%q", labels)
+			if extra != "" {
+				b.WriteByte(',')
+			}
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// PrometheusText renders the registry in the Prometheus text
+// exposition format. The registry stores ordered label values without
+// keys, so they surface as a single `labels="a,b"` label; durations
+// are exported in seconds. Output is deterministically sorted.
+func (r *Registry) PrometheusText() string {
+	r.mu.Lock()
+	counters := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hs := make(map[string]HistogramStats, len(r.histograms))
+	for k, h := range r.histograms {
+		hs[k] = HistogramStats{Count: h.n, Sum: h.sum,
+			Bounds: append([]time.Duration(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...)}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typed := make(map[string]bool)
+	emitType := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, k := range sortedKeys(counters) {
+		name, labels := splitKey(k)
+		emitType(name, "counter")
+		promLine(&b, name, labels, "", fmt.Sprintf("%g", counters[k]))
+	}
+	for _, k := range sortedKeys(gauges) {
+		name, labels := splitKey(k)
+		emitType(name, "gauge")
+		promLine(&b, name, labels, "", fmt.Sprintf("%g", gauges[k]))
+	}
+	hkeys := make([]string, 0, len(hs))
+	for k := range hs {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		name, labels := splitKey(k)
+		h := hs[k]
+		emitType(name, "histogram")
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			promLine(&b, name+"_bucket", labels,
+				fmt.Sprintf("le=%q", fmt.Sprintf("%g", bound.Seconds())),
+				fmt.Sprintf("%d", cum))
+		}
+		promLine(&b, name+"_bucket", labels, `le="+Inf"`, fmt.Sprintf("%d", h.Count))
+		promLine(&b, name+"_sum", labels, "", fmt.Sprintf("%g", h.Sum.Seconds()))
+		promLine(&b, name+"_count", labels, "", fmt.Sprintf("%d", h.Count))
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -74,6 +74,105 @@ func TestSnapshotSortedAndComplete(t *testing.T) {
 	}
 }
 
+func TestHistogramBucketExport(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("lat", 2*time.Millisecond)
+	r.Observe("lat", 10*time.Millisecond)
+	r.Observe("lat", 24*time.Hour) // overflow bucket
+	st := r.Histogram("lat")
+	if len(st.Bounds) == 0 || len(st.Counts) != len(st.Bounds)+1 {
+		t.Fatalf("bucket detail missing: bounds=%d counts=%d", len(st.Bounds), len(st.Counts))
+	}
+	var total int64
+	for _, c := range st.Counts {
+		total += c
+	}
+	if total != st.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, st.Count)
+	}
+	if st.Counts[len(st.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", st.Counts[len(st.Counts)-1])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	// 99 fast samples and 1 slow one: p50 must stay in the fast
+	// bucket, p99+ must reach the slow one. This is exactly what the
+	// mean hides.
+	for i := 0; i < 99; i++ {
+		r.Observe("lat", 2*time.Millisecond)
+	}
+	r.Observe("lat", 40*time.Second)
+	p50 := r.Quantile("lat", 0.50)
+	p999 := r.Quantile("lat", 0.999)
+	if p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want within the 4ms bucket", p50)
+	}
+	if p999 < 16*time.Second {
+		t.Fatalf("p99.9 = %v, want in the slow bucket", p999)
+	}
+	mean := r.Histogram("lat").Mean
+	if p50 >= mean {
+		t.Fatalf("p50 (%v) should sit far below the outlier-dragged mean (%v)", p50, mean)
+	}
+	// Quantiles interpolate monotonically.
+	last := time.Duration(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		v := r.Quantile("lat", q)
+		if v < last {
+			t.Fatalf("quantiles not monotone at q=%v: %v < %v", q, v, last)
+		}
+		last = v
+	}
+	if r.Quantile("missing", 0.5) != 0 {
+		t.Fatal("missing histogram quantile must be 0")
+	}
+}
+
+func TestExport(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("jobs_total", "completed")
+	r.SetGauge("free_gpus", 3)
+	r.Observe("lat", 5*time.Millisecond, "submit")
+	ex := r.Export()
+	if ex.Counters[`jobs_total{completed}`] != 1 {
+		t.Fatalf("export counters = %+v", ex.Counters)
+	}
+	if ex.Gauges["free_gpus"] != 3 {
+		t.Fatalf("export gauges = %+v", ex.Gauges)
+	}
+	h, ok := ex.Histograms[`lat{submit}`]
+	if !ok || h.Count != 1 || h.P99 == 0 {
+		t.Fatalf("export histograms = %+v", ex.Histograms)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("api_requests_total", "submit", "alice")
+	r.SetGauge("free_gpus", 8)
+	r.Observe("api_latency", 3*time.Millisecond, "submit")
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE api_requests_total counter",
+		`api_requests_total{labels="submit,alice"} 1`,
+		"# TYPE free_gpus gauge",
+		"free_gpus 8",
+		"# TYPE api_latency histogram",
+		`api_latency_bucket{labels="submit",le="+Inf"} 1`,
+		`api_latency_count{labels="submit"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// Buckets are cumulative: the +Inf bucket equals _count.
+	if r.PrometheusText() != text {
+		t.Fatal("prometheus text not deterministic")
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

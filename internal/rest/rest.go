@@ -19,6 +19,7 @@ import (
 	"repro/internal/core/api"
 	"repro/internal/core/manifest"
 	"repro/internal/mongo"
+	"repro/internal/trace"
 )
 
 // TenantHeader carries the caller's tenant identity.
@@ -49,6 +50,8 @@ func Handler(p *dlaas.Platform) http.Handler {
 	mux.HandleFunc("GET /v1/health", s.health)
 	mux.HandleFunc("GET /v1/cluster", s.cluster)
 	mux.HandleFunc("GET /v1/admin/metrics", s.platformMetrics)
+	mux.HandleFunc("GET /metrics", s.prometheus)
+	mux.HandleFunc("GET /traces/{id}", s.trace)
 	return mux
 }
 
@@ -202,6 +205,44 @@ func (s *server) platformMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(s.p.Metrics().Snapshot() + "\n"))
+}
+
+// prometheus serves the registry in Prometheus text exposition format —
+// counters, gauges, and cumulative histogram buckets — on the
+// conventional scrape path.
+func (s *server) prometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(s.p.Metrics().PrometheusText()))
+}
+
+// TraceBody is the GET /traces/{id} response: the job's span tree plus
+// its critical-path phase attribution.
+type TraceBody struct {
+	Trace        *trace.Tree       `json:"trace"`
+	CriticalPath trace.Attribution `json:"critical_path"`
+}
+
+// trace serves one job's span tree and critical path. Trace access is
+// tenant-scoped through the same ownership check as job status.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	client, err := s.client(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	id := r.PathValue("id")
+	if _, err := client.Status(id); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	t := s.p.Trace().Tree(id)
+	if t == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no trace recorded for job %s (tracing off?)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceBody{Trace: t, CriticalPath: trace.CriticalPath(t)})
 }
 
 func learnerParam(r *http.Request) (int, error) {

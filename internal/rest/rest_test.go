@@ -303,3 +303,69 @@ func TestBadLearnerParam(t *testing.T) {
 		t.Fatalf("bad learner param = %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestPrometheusEndpoint: /metrics serves the registry in Prometheus
+// text exposition format after a completed job.
+func TestPrometheusEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp, raw := f.do(t, "GET", "/metrics", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(string(raw), "# TYPE") {
+		t.Fatalf("no TYPE lines in exposition:\n%.400s", raw)
+	}
+}
+
+// TestTraceEndpoint: /traces/{id} serves the job's span tree plus
+// critical-path attribution, tenant-scoped like every other job view.
+func TestTraceEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp, raw := f.do(t, "POST", "/v1/models", "tracer", f.manifest(t, "tracer"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d (%s)", resp.StatusCode, raw)
+	}
+	var sub SubmitResult
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.p.Client("tracer").WaitForState(sub.JobID, dlaas.StateCompleted, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, raw = f.do(t, "GET", "/traces/"+sub.JobID, "tracer", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d (%s)", resp.StatusCode, raw)
+	}
+	var body TraceBody
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Trace == nil || body.Trace.Root == nil || body.Trace.Root.Name != "job" {
+		t.Fatalf("no job root in trace body:\n%.400s", raw)
+	}
+	if body.CriticalPath.Total <= 0 || len(body.CriticalPath.Phases) == 0 {
+		t.Fatalf("empty critical path: %+v", body.CriticalPath)
+	}
+	var sum time.Duration
+	for _, pc := range body.CriticalPath.Phases {
+		sum += pc.Cost
+	}
+	if sum != body.CriticalPath.Total {
+		t.Fatalf("phase costs sum to %v, want %v", sum, body.CriticalPath.Total)
+	}
+
+	// Another tenant cannot read the trace.
+	resp, _ = f.do(t, "GET", "/traces/"+sub.JobID, "mallory", nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant trace status = %d, want 403", resp.StatusCode)
+	}
+	// Unknown jobs 404.
+	resp, _ = f.do(t, "GET", "/traces/job-999999", "tracer", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown-job trace status = %d, want 404", resp.StatusCode)
+	}
+}

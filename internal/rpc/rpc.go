@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // ErrUnavailable is returned when a service has no healthy instances.
@@ -37,6 +38,7 @@ const defaultCallLatency = 500 * time.Microsecond
 type Bus struct {
 	clk     clock.Clock
 	latency time.Duration
+	tracer  *trace.Recorder
 
 	mu       sync.Mutex
 	services map[string]*service
@@ -71,6 +73,14 @@ type Option func(*Bus)
 // WithCallLatency overrides the modeled per-call network latency.
 func WithCallLatency(d time.Duration) Option {
 	return func(b *Bus) { b.latency = d }
+}
+
+// WithTracer attaches a span recorder: a call whose context carries a
+// trace.SpanContext is wrapped in an "rpc:<service>/<method>" child
+// span, and the handler sees the context re-pointed at that span. A
+// nil recorder (tracing off) is accepted and ignored.
+func WithTracer(r *trace.Recorder) Option {
+	return func(b *Bus) { b.tracer = r }
 }
 
 // NewBus returns an empty service registry on clk.
@@ -225,6 +235,13 @@ func (b *Bus) HealthyInstances(name string) int {
 func (b *Bus) Call(ctx context.Context, name, method string, req any) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if b.tracer != nil {
+		if sc, ok := trace.FromContext(ctx); ok {
+			sp := b.tracer.StartSpan(sc, "rpc:"+name+"/"+method)
+			defer sp.End()
+			ctx = trace.NewContext(ctx, sp.Context())
+		}
 	}
 	inst, err := b.pick(name)
 	if err != nil {

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// AttrPhase is the attribute key marking a span as a critical-path
+// phase contributor.
+const AttrPhase = "phase"
+
+// Phase vocabulary. Instrumentation across the platform uses these so
+// that critical-path attribution is comparable between jobs.
+const (
+	PhaseQueue      = "queue"      // gang waiting for admission
+	PhaseDeploy     = "deploy"     // guardian first-time deploy steps
+	PhaseRecovery   = "recovery"   // redeploy / restart-resume work after a fault
+	PhaseImagePull  = "image-pull" // container boot delay (first incarnation)
+	PhaseRendezvous = "rendezvous" // distributed learners waiting for peers
+	PhaseDownload   = "download"   // dataset / checkpoint transfer
+	PhaseTrain      = "train"      // training steps
+	PhaseCheckpoint = "checkpoint" // checkpoint writes
+	PhaseEvict      = "evict"      // graceful-eviction checkpoint handshake
+	PhaseStall      = "stall"      // detected I/O stall (e.g. NFS fault)
+	PhaseStore      = "store"      // results shipping after training
+	PhaseControl    = "control"    // residue: no phase span active
+)
+
+// PhaseCost is one phase's share of the critical path.
+type PhaseCost struct {
+	Phase string        `json:"phase"`
+	Cost  time.Duration `json:"cost"`
+}
+
+// Attribution is the result of CriticalPath: every instant of the
+// root span's interval attributed to exactly one phase, so the phase
+// costs sum to Total (the job's virtual makespan) by construction.
+type Attribution struct {
+	Total    time.Duration `json:"total"`
+	Phases   []PhaseCost   `json:"phases"`
+	Recovery time.Duration `json:"recovery"` // recovery + stall + evict phases
+}
+
+// Phase returns the cost attributed to one phase (0 if absent).
+func (a Attribution) Phase(name string) time.Duration {
+	for _, p := range a.Phases {
+		if p.Phase == name {
+			return p.Cost
+		}
+	}
+	return 0
+}
+
+type cpSpan struct {
+	start, end time.Time
+	depth      int
+	phase      string
+	seq        int
+}
+
+// CriticalPath attributes the root span's wall time (virtual) to
+// phases by a sweep over span boundaries: within each segment the
+// deepest active phase-tagged span wins; segments with no active
+// phase span are "control". Unended spans (a wedged learner, an
+// in-flight job) are clamped to the root interval's end, which for an
+// unended root is the latest timestamp observed in the trace.
+func CriticalPath(t *Tree) Attribution {
+	if t == nil || t.Root == nil {
+		return Attribution{}
+	}
+	rootStart := t.Root.Start
+	rootEnd := t.Root.End
+	if !t.Root.Ended {
+		rootEnd = rootStart
+		var scan func(sd *SpanData)
+		scan = func(sd *SpanData) {
+			if sd.Start.After(rootEnd) {
+				rootEnd = sd.Start
+			}
+			if sd.Ended && sd.End.After(rootEnd) {
+				rootEnd = sd.End
+			}
+			for _, ev := range sd.Events {
+				if ev.Time.After(rootEnd) {
+					rootEnd = ev.Time
+				}
+			}
+			for _, c := range sd.Children {
+				scan(c)
+			}
+		}
+		scan(t.Root)
+	}
+	if !rootEnd.After(rootStart) {
+		return Attribution{}
+	}
+
+	var spans []cpSpan
+	seq := 0
+	var collect func(sd *SpanData, depth int)
+	collect = func(sd *SpanData, depth int) {
+		if sd.Phase != "" {
+			start, end := sd.Start, sd.End
+			if !sd.Ended {
+				end = rootEnd
+			}
+			if start.Before(rootStart) {
+				start = rootStart
+			}
+			if end.After(rootEnd) {
+				end = rootEnd
+			}
+			if end.After(start) {
+				spans = append(spans, cpSpan{start: start, end: end, depth: depth, phase: sd.Phase, seq: seq})
+				seq++
+			}
+		}
+		for _, c := range sd.Children {
+			collect(c, depth+1)
+		}
+	}
+	collect(t.Root, 0)
+
+	bounds := []time.Time{rootStart, rootEnd}
+	for _, s := range spans {
+		bounds = append(bounds, s.start, s.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].Before(bounds[j]) })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if !b.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, b)
+		}
+	}
+
+	costs := make(map[string]time.Duration)
+	for i := 0; i+1 < len(uniq); i++ {
+		lo, hi := uniq[i], uniq[i+1]
+		best := -1
+		for j, s := range spans {
+			if !s.start.After(lo) && !s.end.Before(hi) {
+				if best == -1 || deeper(s, spans[best]) {
+					best = j
+				}
+			}
+		}
+		phase := PhaseControl
+		if best >= 0 {
+			phase = spans[best].phase
+		}
+		costs[phase] += hi.Sub(lo)
+	}
+
+	att := Attribution{Total: rootEnd.Sub(rootStart)}
+	names := make([]string, 0, len(costs))
+	for n := range costs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if costs[names[i]] != costs[names[j]] {
+			return costs[names[i]] > costs[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		att.Phases = append(att.Phases, PhaseCost{Phase: n, Cost: costs[n]})
+	}
+	att.Recovery = costs[PhaseRecovery] + costs[PhaseStall] + costs[PhaseEvict]
+	return att
+}
+
+// deeper orders competing active spans: deeper wins; at equal depth
+// the later start wins (more specific); ties break on insertion order
+// so the sweep is deterministic.
+func deeper(a, b cpSpan) bool {
+	if a.depth != b.depth {
+		return a.depth > b.depth
+	}
+	if !a.start.Equal(b.start) {
+		return a.start.After(b.start)
+	}
+	return a.seq > b.seq
+}
+
+// FormatTree renders the span tree as indented text with offsets
+// relative to the root start and virtual durations.
+func FormatTree(t *Tree) string {
+	if t == nil || t.Root == nil {
+		return "(no trace)\n"
+	}
+	base := t.Root.Start
+	clamp := t.Root.End
+	if !t.Root.Ended {
+		att := CriticalPath(t)
+		clamp = base.Add(att.Total)
+	}
+	var b strings.Builder
+	var walk func(sd *SpanData, depth int)
+	walk = func(sd *SpanData, depth int) {
+		dur := sd.Duration(clamp)
+		open := ""
+		if !sd.Ended {
+			open = " (open)"
+		}
+		phase := ""
+		if sd.Phase != "" {
+			phase = " [" + sd.Phase + "]"
+		}
+		fmt.Fprintf(&b, "%s%s%s  +%s  %s%s\n",
+			strings.Repeat("  ", depth), sd.Name, phase,
+			sd.Start.Sub(base), dur, open)
+		for _, ev := range sd.Events {
+			fmt.Fprintf(&b, "%s· %s  +%s\n",
+				strings.Repeat("  ", depth+1), ev.Name, ev.Time.Sub(base))
+		}
+		for _, c := range sd.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	for _, o := range t.Orphans {
+		walk(o, 1)
+	}
+	return b.String()
+}
+
+// FormatAttribution renders a critical-path attribution as text.
+func FormatAttribution(a Attribution) string {
+	if a.Total <= 0 {
+		return "(no critical path)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path (virtual makespan %s):\n", a.Total)
+	for _, p := range a.Phases {
+		fmt.Fprintf(&b, "  %-11s %12s  %5.1f%%\n", p.Phase, p.Cost,
+			100*float64(p.Cost)/float64(a.Total))
+	}
+	fmt.Fprintf(&b, "recovery cost: %s\n", a.Recovery)
+	return b.String()
+}

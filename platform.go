@@ -19,6 +19,7 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/objectstore"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // ErrNotReady indicates the platform services did not come up in time.
@@ -91,6 +92,12 @@ type Options struct {
 	// comparison (see BenchmarkControlPlane).
 	ControlPlane string
 
+	// Tracing enables ("on", the default) or disables ("off") the
+	// deterministic span recorder: job-lifecycle span trees on the
+	// virtual clock, served via /traces/{jobID} and Platform.Trace().
+	// "off" exists for the overhead A/B (see BenchmarkTraceOverhead).
+	Tracing string
+
 	// MaxDeployAttempts bounds Guardian deployment retries (default 3).
 	MaxDeployAttempts int
 	// GuardianStepDelay is the modeled per-step Guardian provisioning
@@ -127,6 +134,9 @@ func (o Options) withDefaults() Options {
 	if o.ControlPlane == "" {
 		o.ControlPlane = core.ControlPlaneWatch
 	}
+	if o.Tracing == "" {
+		o.Tracing = "on"
+	}
 	return o
 }
 
@@ -149,6 +159,7 @@ type Platform struct {
 	apiDep  *kube.Deployment
 	lcmDep  *kube.Deployment
 	metrics *metrics.Registry
+	trace   *trace.Recorder
 
 	chaos *chaos.Injector
 }
@@ -175,6 +186,15 @@ func New(opts Options) (*Platform, error) {
 		p.closePartial()
 		return nil, fmt.Errorf("dlaas: unknown control plane %q", opts.ControlPlane)
 	}
+	switch opts.Tracing {
+	case "on":
+		p.trace = trace.NewRecorder(p.clk)
+	case "off":
+		// p.trace stays nil; every trace call site is nil-safe.
+	default:
+		p.closePartial()
+		return nil, fmt.Errorf("dlaas: unknown tracing mode %q", opts.Tracing)
+	}
 
 	p.metrics = metrics.NewRegistry()
 	p.nfs = nfs.NewServer(p.clk)
@@ -188,7 +208,7 @@ func New(opts Options) (*Platform, error) {
 		return nil, fmt.Errorf("dlaas: %w", err)
 	}
 	p.etcd.Instrument(p.metrics)
-	p.bus = rpc.NewBus(p.clk)
+	p.bus = rpc.NewBus(p.clk, rpc.WithTracer(p.trace))
 
 	nodes := make([]kube.NodeSpec, 0, opts.Nodes)
 	for i := 0; i < opts.Nodes; i++ {
@@ -210,6 +230,7 @@ func New(opts Options) (*Platform, error) {
 		DisableBackfill:     opts.DisableBackfill,
 		EvictionGracePeriod: grace,
 		Seed:                opts.Seed,
+		Trace:               p.trace,
 	}, nodes...)
 	p.chaos = chaos.New(p.cluster).AttachEtcd(p.etcd).AttachNFS(p.nfs)
 
@@ -224,6 +245,7 @@ func New(opts Options) (*Platform, error) {
 		DataLink:    p.link,
 		DefaultGPU:  defaultGPU,
 		Metrics:     p.metrics,
+		Trace:       p.trace,
 	}
 
 	apiSvc := api.New(p.deps)
@@ -299,6 +321,9 @@ func (p *Platform) Chaos() *chaos.Injector { return p.chaos }
 // Metrics exposes the platform instrumentation registry: per-tenant
 // request metering, API latencies, and operational gauges.
 func (p *Platform) Metrics() *metrics.Registry { return p.metrics }
+
+// Trace exposes the platform span recorder (nil when Tracing is off).
+func (p *Platform) Trace() *trace.Recorder { return p.trace }
 
 // Cluster exposes the underlying simulated Kubernetes cluster.
 func (p *Platform) Cluster() *kube.Cluster { return p.cluster }
