@@ -191,48 +191,35 @@ func campaignMatrix() []scenario {
 		},
 		{
 			name:     "cascading-node-loss",
-			about:    "the learner's node crashes and recovers, then the node the learner resumed on crashes too; the job rides out both losses",
+			about:    "two successive hard node losses with neither node returning; the scheduler re-reserves the gang on surviving capacity and the learner fails over twice",
 			opts:     Options{Nodes: 3, GPUsPerNode: 1},
 			learners: 1,
 			images:   12000,
 			expect:   completion,
 			deadline: 4 * time.Hour,
 			schedule: func(run *scenarioRun) chaos.Schedule {
-				// The gang reservation pins the learner to its node, so a
-				// downed node parks the job until the node returns — the
-				// cascade is crash, recover, crash again.
-				var first, second string
+				// Hard node loss is repaired like a drain: nodeDown marks
+				// the gang's lost members, repair re-plans them onto
+				// surviving capacity, and the StatefulSet recreates the
+				// learner ordinal there — no node restart required. The
+				// crashed nodes stay down for the whole run; a parked job
+				// here is a scheduler regression, not an expected outcome.
 				return chaos.Schedule{
 					{At: 20 * time.Second, Fault: "crash-node", Target: "node-of:learner",
 						Apply: func(i *chaos.Injector) error {
-							n, err := i.CrashNodeOf(learnerSelector(run.jobID))
-							first = n
+							_, err := i.CrashNodeOf(learnerSelector(run.jobID))
 							return err
-						}},
-					{At: 60 * time.Second, Fault: "restart-node", Target: "node-of:learner",
-						Apply: func(i *chaos.Injector) error {
-							if first == "" {
-								return nil
-							}
-							return i.RestartNode(first)
 						}},
 					{At: 100 * time.Second, Fault: "crash-node", Target: "node-of:learner",
 						Apply: func(i *chaos.Injector) error {
 							// The second loss must hit the node the learner
-							// *resumed on*: wait out the recovery first.
+							// *failed over to*: wait for the first
+							// fail-over to land first.
 							if err := i.AwaitRunning(learnerSelector(run.jobID), 2*time.Minute); err != nil {
 								return err
 							}
-							n, err := i.CrashNodeOf(learnerSelector(run.jobID))
-							second = n
+							_, err := i.CrashNodeOf(learnerSelector(run.jobID))
 							return err
-						}},
-					{At: 160 * time.Second, Fault: "restart-node", Target: "node-of:learner",
-						Apply: func(i *chaos.Injector) error {
-							if second == "" {
-								return nil
-							}
-							return i.RestartNode(second)
 						}},
 				}
 			},

@@ -108,6 +108,11 @@ const (
 	opGet    opKind = "get"
 	opRange  opKind = "range"
 	opTxn    opKind = "txn"
+	// opBatch is a group-commit wrapper: one log entry carrying the
+	// sub-commands of every propose() call that queued while the
+	// previous batch's round was in flight. All sub-commands apply at
+	// the wrapper's single log index (one revision).
+	opBatch opKind = "batch"
 )
 
 // Cmp is a transaction guard, with the same semantics as
@@ -140,6 +145,8 @@ type command struct {
 	Cmps       []Cmp   `json:"cmps,omitempty"`
 	Then       []TxnOp `json:"then,omitempty"`
 	Else       []TxnOp `json:"else,omitempty"`
+	// Subs are the sub-commands of an opBatch wrapper, applied in order.
+	Subs []command `json:"subs,omitempty"`
 }
 
 // result is what applying a command yields (deterministic on every node).
@@ -168,6 +175,33 @@ const (
 	// (the replica may lag acknowledged writes), never wrongness (only
 	// committed entries are applied). Stays available without a quorum.
 	ReadModeSerializable = "serializable"
+)
+
+// Write modes selectable via SetWriteMode (Options.WriteMode at the
+// platform layer).
+const (
+	// WriteModeBatch (the default) coalesces concurrent writes into one
+	// batched log entry per replication round — group commit. A batch
+	// flushes as soon as the previous round's entry applies; under no
+	// concurrency every batch holds one command, so there is no added
+	// latency.
+	WriteModeBatch = "batch"
+	// WriteModeSingle proposes every write as its own log entry — the
+	// pre-batching behavior, kept as the A/B escape hatch.
+	WriteModeSingle = "single"
+)
+
+// Replication modes selectable at construction (Options.Replication at
+// the platform layer); they map onto raft.Config's pipeline window.
+const (
+	// ReplicationPipeline (the default) keeps a bounded in-flight window
+	// of AppendEntries per follower, advancing optimistically and
+	// rewinding on reject.
+	ReplicationPipeline = "pipeline"
+	// ReplicationStopWait re-ships the full pending log suffix every
+	// broadcast and advances only on acks — the pre-pipelining behavior,
+	// kept as the A/B escape hatch.
+	ReplicationStopWait = "stopwait"
 )
 
 // defaultRequestTimeout bounds how long a client op waits for commit.
@@ -218,6 +252,19 @@ type Store struct {
 	closed       atomic.Bool
 	stopCh       chan struct{}
 	readMode     atomic.Value // string; one of the ReadMode constants
+	writeMode    atomic.Value // string; one of the WriteMode constants
+	replication  string       // fixed at construction
+
+	// Group-commit state: writers append to batchQ and kick the flusher,
+	// which drains the queue into one opBatch entry per replication
+	// round. batchSeq numbers wrapper request IDs; batches/batchedCmds
+	// feed the batch-occupancy metric.
+	batchMu     sync.Mutex
+	batchQ      []command
+	batchKick   chan struct{}
+	batchSeq    atomic.Uint64
+	batches     atomic.Uint64
+	batchedCmds atomic.Uint64
 
 	// Client-operation counters, split by kind: the control-plane
 	// benchmarks compare watch- vs poll-driven consumers by how many
@@ -239,6 +286,17 @@ type Store struct {
 	stops map[int]chan struct{}
 }
 
+// StoreOptions configures a Store beyond the defaults.
+type StoreOptions struct {
+	// Shards is the per-replica engine shard count (<= 0 = default).
+	Shards int
+	// WriteMode is WriteModeBatch (default) or WriteModeSingle.
+	WriteMode string
+	// Replication is ReplicationPipeline (default) or
+	// ReplicationStopWait. Fixed for the cluster's lifetime.
+	Replication string
+}
+
 // New boots an n-way replicated store on clk. The paper's deployment uses
 // n = 3.
 func New(n int, clk clock.Clock) *Store { return NewSharded(n, clk, 0) }
@@ -247,25 +305,55 @@ func New(n int, clk clock.Clock) *Store { return NewSharded(n, clk, 0) }
 // machines use the given engine shard count (<= 0 selects the store
 // default).
 func NewSharded(n int, clk clock.Clock, shards int) *Store {
+	s, err := NewWithOptions(n, clk, StoreOptions{Shards: shards})
+	if err != nil {
+		panic(err) // unreachable: default options are valid
+	}
+	return s
+}
+
+// NewWithOptions boots an n-way replicated store with explicit write and
+// replication modes. It fails on an unknown mode string.
+func NewWithOptions(n int, clk clock.Clock, o StoreOptions) (*Store, error) {
+	switch o.WriteMode {
+	case "":
+		o.WriteMode = WriteModeBatch
+	case WriteModeBatch, WriteModeSingle:
+	default:
+		return nil, fmt.Errorf("etcd: unknown write mode %q", o.WriteMode)
+	}
+	cfg := raft.DefaultConfig(clk)
+	switch o.Replication {
+	case "", ReplicationPipeline:
+		o.Replication = ReplicationPipeline
+	case ReplicationStopWait:
+		cfg.MaxInflightEntries = 1
+	default:
+		return nil, fmt.Errorf("etcd: unknown replication mode %q", o.Replication)
+	}
 	s := &Store{
-		clk:     clk,
-		cluster: raft.NewCluster(n, raft.DefaultConfig(clk)),
-		timeout: defaultRequestTimeout,
-		shards:  shards,
-		stopCh:  make(chan struct{}),
-		hub:     store.NewHub[Event](),
-		sms:     make(map[int]*stateMachine, n),
-		stops:   make(map[int]chan struct{}, n),
+		clk:         clk,
+		cluster:     raft.NewCluster(n, cfg),
+		timeout:     defaultRequestTimeout,
+		shards:      o.Shards,
+		replication: o.Replication,
+		stopCh:      make(chan struct{}),
+		batchKick:   make(chan struct{}, 1),
+		hub:         store.NewHub[Event](),
+		sms:         make(map[int]*stateMachine, n),
+		stops:       make(map[int]chan struct{}, n),
 	}
 	s.compactEvery.Store(defaultCompactEvery)
 	s.readMode.Store(ReadModeReadIndex)
+	s.writeMode.Store(o.WriteMode)
 	for i := range s.waiters {
 		s.waiters[i].m = make(map[string]chan result)
 	}
 	for _, id := range s.cluster.IDs() {
 		s.startApplier(id)
 	}
-	return s
+	go s.batchLoop()
+	return s, nil
 }
 
 // SetReadMode selects how Get, Range and read-only Txn are served
@@ -286,6 +374,49 @@ func (s *Store) SetReadMode(mode string) error {
 // ReadMode reports the store's current read mode.
 func (s *Store) ReadMode() string {
 	return s.readMode.Load().(string)
+}
+
+// SetWriteMode selects how writes reach the Raft log: WriteModeBatch
+// coalesces concurrent writes into one entry per replication round,
+// WriteModeSingle proposes each write on its own ("" selects the
+// default, WriteModeBatch).
+func (s *Store) SetWriteMode(mode string) error {
+	switch mode {
+	case "":
+		mode = WriteModeBatch
+	case WriteModeBatch, WriteModeSingle:
+	default:
+		return fmt.Errorf("etcd: unknown write mode %q", mode)
+	}
+	s.writeMode.Store(mode)
+	return nil
+}
+
+// WriteMode reports the store's current write mode.
+func (s *Store) WriteMode() string {
+	return s.writeMode.Load().(string)
+}
+
+// Replication reports the cluster's replication mode (fixed at boot).
+func (s *Store) Replication() string { return s.replication }
+
+// BatchStats reports how many group-commit batches were proposed and how
+// many client commands they carried; cmds/batches is the mean batch
+// occupancy.
+func (s *Store) BatchStats() (batches, cmds uint64) {
+	return s.batches.Load(), s.batchedCmds.Load()
+}
+
+// ReplicationStats returns per-node Raft replication counters
+// (appends, entries-per-append, rejects, snapshot chunks).
+func (s *Store) ReplicationStats() map[int]raft.ReplicationStats {
+	return s.cluster.ReplicationStats()
+}
+
+// SetNodeDelay adds extra one-way latency to every raft message
+// addressed to node id (a slow follower); non-positive d removes it.
+func (s *Store) SetNodeDelay(id int, d time.Duration) {
+	s.cluster.Transport().SetNodeDelay(id, d)
 }
 
 // SetCompactEvery overrides the per-node log-compaction threshold
@@ -323,6 +454,7 @@ func (s *Store) Instrument(reg *metrics.Registry) {
 	}
 	s.mtr.Store(reg)
 	s.hub.Instrument(reg, "etcd")
+	s.cluster.Instrument(reg)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, sm := range s.sms {
@@ -449,6 +581,10 @@ func (s *Store) applyEntry(sm *stateMachine, e raft.Entry) {
 		s.hub.Publish(e.Index, nil)
 		return
 	}
+	if cmd.Op == opBatch {
+		s.applyBatchEntry(sm, e.Index, cmd)
+		return
+	}
 	res := sm.apply(e.Index, cmd)
 
 	// Publish before completing the waiter: once the client's call
@@ -463,6 +599,34 @@ func (s *Store) applyEntry(sm *stateMachine, e raft.Entry) {
 	if ch, ok := s.takeWaiter(cmd.ReqID); ok {
 		select {
 		case ch <- res:
+		default:
+		}
+	}
+}
+
+// applyBatchEntry unpacks a group-commit wrapper: every sub-command
+// applies in order at the wrapper's single log index, the concatenated
+// events publish once for that index (the hub cursor demands exactly one
+// publish per revision), and each sub-command's waiter fires on its own
+// ReqID. The wrapper's waiter releases the flusher's round.
+func (s *Store) applyBatchEntry(sm *stateMachine, idx uint64, batch command) {
+	results, events := sm.applyBatch(idx, batch.Subs)
+
+	// Publish before completing waiters, for the same watch-visibility
+	// ordering as single commands.
+	s.hub.Publish(idx, events)
+
+	for i, sub := range batch.Subs {
+		if ch, ok := s.takeWaiter(sub.ReqID); ok {
+			select {
+			case ch <- results[i]:
+			default:
+			}
+		}
+	}
+	if ch, ok := s.takeWaiter(batch.ReqID); ok {
+		select {
+		case ch <- result{rev: idx, ok: true}:
 		default:
 		}
 	}
@@ -858,13 +1022,142 @@ func (s *Store) pause(deadline time.Time) bool {
 }
 
 // propose routes cmd through the Raft log and waits for its application.
-// The wait is event-driven — a select on the waiter channel and a clock
-// timer — rather than a poll: the old 5 ms busy-loop put a virtual-
-// latency floor under every write and burned sim-clock cycles.
+// In the default batch write mode, mutations join the group-commit queue
+// (one log entry per replication round); single mode and read commands
+// propose individually.
 func (s *Store) propose(cmd command) (result, error) {
 	if s.closed.Load() {
 		return result{}, ErrClosed
 	}
+	if s.WriteMode() != WriteModeSingle {
+		switch cmd.Op {
+		case opPut, opDelete, opCAS, opTxn:
+			return s.proposeBatched(cmd)
+		}
+		// Propose-mode reads (opGet/opRange and read-only opTxn reach
+		// here only in that mode) stay one-entry-per-op: their results
+		// depend on snapshot state that batch application does not
+		// overlay for range scans, and keeping them singular preserves
+		// the 1-proposal-per-read baseline the read-mode A/B measures.
+	}
+	return s.proposeSingle(cmd)
+}
+
+// proposeBatched enqueues cmd for the group-commit flusher and waits for
+// its own waiter to fire — each sub-command completes individually when
+// the wrapper entry applies.
+func (s *Store) proposeBatched(cmd command) (result, error) {
+	cmd.ReqID = fmt.Sprintf("r%d", s.reqSeq.Add(1))
+	ch := make(chan result, 1)
+	s.putWaiter(cmd.ReqID, ch)
+	defer s.takeWaiter(cmd.ReqID)
+
+	s.batchMu.Lock()
+	s.batchQ = append(s.batchQ, cmd)
+	depth := len(s.batchQ)
+	s.batchMu.Unlock()
+	if reg := s.mtr.Load(); reg != nil {
+		reg.SetGauge("etcd_batch_queue_depth", float64(depth))
+	}
+	select {
+	case s.batchKick <- struct{}{}:
+	default:
+	}
+
+	t := s.clk.NewTimer(s.timeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-t.C():
+		return result{}, ErrTimeout
+	case <-s.stopCh:
+		return result{}, ErrClosed
+	}
+}
+
+// batchLoop is the group-commit flusher: it drains the queue into one
+// opBatch entry, waits for that round to apply (or give up), then
+// flushes whatever queued meanwhile. No artificial delay — a lone write
+// flushes immediately; batching emerges only from concurrency.
+func (s *Store) batchLoop() {
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.batchKick:
+		}
+		for {
+			s.batchMu.Lock()
+			q := s.batchQ
+			s.batchQ = nil
+			s.batchMu.Unlock()
+			if len(q) == 0 {
+				break
+			}
+			s.flushBatch(q)
+		}
+	}
+}
+
+// flushBatch proposes one opBatch wrapper carrying q and waits until the
+// entry applies — the flusher's own waiter on the wrapper's ReqID is the
+// round-completion signal that clocks group commit. Re-proposals on
+// leadership churn are deduplicated per sub-command by the state
+// machine. If the round never applies within the request timeout the
+// batch is abandoned: its clients' waiters time out individually.
+func (s *Store) flushBatch(q []command) {
+	wrap := command{ReqID: fmt.Sprintf("b%d", s.batchSeq.Add(1)), Op: opBatch, Subs: q}
+	payload, err := json.Marshal(wrap)
+	if err != nil {
+		return // unreachable: commands are plain data
+	}
+	ch := make(chan result, 1)
+	s.putWaiter(wrap.ReqID, ch)
+	defer s.takeWaiter(wrap.ReqID)
+
+	s.batches.Add(1)
+	s.batchedCmds.Add(uint64(len(q)))
+	if reg := s.mtr.Load(); reg != nil {
+		reg.Inc("etcd_batches")
+		reg.Add("etcd_batched_cmds", float64(len(q)))
+	}
+
+	deadline := s.clk.Now().Add(s.timeout)
+	for s.clk.Now().Before(deadline) {
+		if s.closed.Load() {
+			return
+		}
+		leader := s.cluster.Leader()
+		if leader == nil {
+			s.clk.Sleep(retryPause)
+			continue
+		}
+		if _, _, err := leader.Propose(payload); err != nil {
+			s.clk.Sleep(retryPause)
+			continue
+		}
+		s.proposals.Add(1)
+		t := s.clk.NewTimer(proposeWait)
+		select {
+		case <-ch:
+			t.Stop()
+			return
+		case <-t.C():
+			// Re-propose: leadership may have changed and the entry been
+			// lost (sub-command dedup makes the retry idempotent).
+		case <-s.stopCh:
+			t.Stop()
+			return
+		}
+	}
+}
+
+// proposeSingle routes one command through the Raft log as its own
+// entry. The wait is event-driven — a select on the waiter channel and a
+// clock timer — rather than a poll: the old 5 ms busy-loop put a
+// virtual-latency floor under every write and burned sim-clock cycles.
+func (s *Store) proposeSingle(cmd command) (result, error) {
 	cmd.ReqID = fmt.Sprintf("r%d", s.reqSeq.Add(1))
 	ch := make(chan result, 1)
 	s.putWaiter(cmd.ReqID, ch)
@@ -1132,4 +1425,115 @@ func (m *stateMachine) apply(idx uint64, cmd command) result {
 	// every applied index must reach it.
 	_ = m.eng.AdvanceFloor(idx)
 	return res
+}
+
+// applyBatch applies a group-commit wrapper's sub-commands at one log
+// index. Guards of later sub-commands must see earlier sub-commands'
+// effects, but the engine may only install the batch in one ApplyAt:
+// installing per sub-command would raise the applied floor mid-batch and
+// let a read-index reader observe a half-applied batch. So mutations are
+// staged in an overlay that guard evaluation reads through, and the
+// whole staged op list installs at once (the engine's same-revision
+// rule — later op wins per key — collapses intra-batch overwrites).
+func (m *stateMachine) applyBatch(idx uint64, subs []command) ([]result, []Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	type oval struct {
+		val    string
+		exists bool
+	}
+	overlay := make(map[string]oval)
+	lookup := func(key string) (string, bool) {
+		if o, ok := overlay[key]; ok {
+			return o.val, o.exists
+		}
+		v, _, ok := m.eng.Get(key)
+		sv, _ := v.(string)
+		return sv, ok
+	}
+	holds := func(c Cmp) bool {
+		cur, exists := lookup(c.Key)
+		if exists != c.PrevExists {
+			return false
+		}
+		return !exists || cur == c.Prev
+	}
+	var ops []store.Op
+	stage := func(op store.Op) {
+		ops = append(ops, op)
+		if op.Kind == store.OpPut {
+			sv, _ := op.Value.(string)
+			overlay[op.Key] = oval{val: sv, exists: true}
+		} else {
+			overlay[op.Key] = oval{}
+		}
+	}
+
+	results := make([]result, len(subs))
+	for i, sub := range subs {
+		// Exactly-once across wrapper re-proposals: only the first
+		// occurrence of a sub-command mutates state.
+		if first, seen := m.dedup[sub.ReqID]; seen && first != idx {
+			switch sub.Op {
+			case opPut, opDelete, opCAS, opTxn:
+				results[i] = result{rev: first, ok: true}
+				continue
+			}
+		}
+		m.dedup[sub.ReqID] = idx
+
+		res := result{rev: idx}
+		switch sub.Op {
+		case opPut:
+			stage(store.Op{Kind: store.OpPut, Key: sub.Key, Value: sub.Value})
+		case opDelete:
+			stage(store.Op{Kind: store.OpDelete, Key: sub.Key})
+		case opCAS:
+			if holds(Cmp{Key: sub.Key, Prev: sub.Prev, PrevExists: sub.PrevExists}) {
+				stage(store.Op{Kind: store.OpPut, Key: sub.Key, Value: sub.Value})
+				res.ok = true
+			}
+		case opTxn:
+			res.ok = true
+			for _, c := range sub.Cmps {
+				if !holds(c) {
+					res.ok = false
+					break
+				}
+			}
+			branch := sub.Then
+			if !res.ok {
+				branch = sub.Else
+			}
+			for _, op := range branch {
+				kind := store.OpPut
+				if op.Type == EventDelete {
+					kind = store.OpDelete
+				}
+				stage(store.Op{Kind: kind, Key: op.Key, Value: op.Value})
+			}
+		case opGet:
+			// Reads are not batched by propose(), but stay correct if a
+			// wrapper carries one: answer through the overlay.
+			if v, ok := lookup(sub.Key); ok {
+				res.val, res.found = v, true
+			}
+		}
+		results[i] = res
+	}
+
+	var events []Event
+	if len(ops) > 0 {
+		evs, _ := m.eng.ApplyAt(idx, ops)
+		for _, ev := range evs {
+			val, _ := ev.Value.(string)
+			events = append(events, Event{
+				Type: EventType(ev.Type), Key: ev.Key, Value: val, Rev: ev.Rev,
+			})
+		}
+	}
+	// All-reads / all-deduped batches still occupy the index.
+	_ = m.eng.AdvanceFloor(idx)
+	return results, events
 }

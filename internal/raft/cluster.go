@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Cluster manages a fixed-membership set of Raft nodes with crash/restart
@@ -17,6 +19,7 @@ type Cluster struct {
 	ids      []int
 	storages map[int]*MemoryStorage
 	nodes    map[int]*Node // nil entry = crashed
+	mtr      *metrics.Registry
 }
 
 // NewCluster boots n fresh nodes (IDs 0..n-1).
@@ -42,6 +45,36 @@ func NewCluster(n int, cfg Config) *Cluster {
 
 // Transport exposes the message fabric for partition injection.
 func (c *Cluster) Transport() *Transport { return c.trans }
+
+// Instrument mirrors every node's replication counters into reg
+// (re-applied to nodes booted by later Restarts).
+func (c *Cluster) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mtr = reg
+	for _, n := range c.nodes {
+		if n != nil {
+			n.setRegistry(reg)
+		}
+	}
+}
+
+// ReplicationStats returns the cumulative replication counters of every
+// live node, keyed by node ID. Crashed nodes' counters reset on restart.
+func (c *Cluster) ReplicationStats() map[int]ReplicationStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]ReplicationStats, len(c.nodes))
+	for id, n := range c.nodes {
+		if n != nil {
+			out[id] = n.ReplicationStats()
+		}
+	}
+	return out
+}
 
 // IDs returns the cluster membership.
 func (c *Cluster) IDs() []int {
@@ -80,6 +113,9 @@ func (c *Cluster) Restart(id int) *Node {
 		panic(fmt.Sprintf("raft: unknown node %d", id))
 	}
 	n := startNode(id, c.ids, c.cfg, st, c.trans)
+	if c.mtr != nil {
+		n.setRegistry(c.mtr)
+	}
 	c.nodes[id] = n
 	return n
 }

@@ -7,6 +7,14 @@
 // dependability claims: a 3-way replicated store keeps accepting writes
 // while any minority of nodes is crashed, and crashed nodes recover from
 // their persisted term/vote/log state.
+//
+// Replication is pipelined by default: the leader keeps a bounded
+// in-flight window per follower, advances nextIndex optimistically as it
+// sends, and rewinds on a consistency reject — instead of re-shipping the
+// full log suffix every broadcast and waiting one round per batch.
+// Lagging followers catch up through streamed snapshot chunks rather than
+// one monolithic installSnapshot message. Config.MaxInflightEntries <= 1
+// restores the stop-and-wait behavior as an A/B escape hatch.
 package raft
 
 import (
@@ -15,9 +23,11 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 )
 
 // State is the role a node currently plays.
@@ -89,9 +99,28 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Seed makes election randomization reproducible.
 	Seed int64
+
+	// MaxInflightEntries bounds how many log entries a leader may have
+	// sent to one follower beyond its acknowledged match index before
+	// further sends carry no entries (the AppendEntries pipeline
+	// window). A value <= 1 disables pipelining entirely: the leader
+	// re-ships the full pending suffix on every broadcast and nextIndex
+	// advances only on acknowledgment — stop-and-wait, kept as the A/B
+	// escape hatch.
+	MaxInflightEntries int
+	// MaxInflightBytes bounds the same window by summed command bytes.
+	MaxInflightBytes int
+	// MaxAppendEntries caps how many entries ride in one AppendEntries
+	// message when pipelining (0 = no per-message cap).
+	MaxAppendEntries int
+	// SnapChunkSize is the installSnapshot payload size: a lagging
+	// follower catches up through a stream of offset-addressed chunks
+	// instead of one monolithic message. <= 0 ships the snapshot whole.
+	SnapChunkSize int
 }
 
-// DefaultConfig mirrors etcd's stock timing (scaled for the simulation).
+// DefaultConfig mirrors etcd's stock timing (scaled for the simulation)
+// with pipelined replication and chunked snapshot streaming enabled.
 func DefaultConfig(clk clock.Clock) Config {
 	return Config{
 		Clock:              clk,
@@ -99,7 +128,26 @@ func DefaultConfig(clk clock.Clock) Config {
 		ElectionTimeoutMax: 300 * time.Millisecond,
 		HeartbeatInterval:  50 * time.Millisecond,
 		Seed:               1,
+		MaxInflightEntries: 1024,
+		MaxInflightBytes:   1 << 20,
+		MaxAppendEntries:   64,
+		SnapChunkSize:      32 << 10,
 	}
+}
+
+// ReplicationStats are cumulative per-node replication counters, the
+// observability surface of the pipelined write path.
+type ReplicationStats struct {
+	// AppendsSent counts AppendEntries messages sent while leading
+	// (heartbeats included); EntriesSent the log entries they carried.
+	// EntriesSent/AppendsSent is the entries-per-append ratio.
+	AppendsSent uint64
+	EntriesSent uint64
+	// AppendRejects counts log-consistency rejects (nextIndex rewinds).
+	AppendRejects uint64
+	// SnapChunksSent/SnapBytesSent count streamed snapshot chunks.
+	SnapChunksSent uint64
+	SnapBytesSent  uint64
 }
 
 // Node is a single Raft participant.
@@ -127,6 +175,11 @@ type Node struct {
 	matchIndex map[int]uint64
 	votes      map[int]bool
 
+	// snapXfers tracks outbound snapshot streams per follower (leader
+	// side); pendingSnap accumulates inbound chunks (follower side).
+	snapXfers   map[int]*snapXfer
+	pendingSnap *pendingSnapshot
+
 	// Read-index state. hbSeq numbers the leader's heartbeat rounds so a
 	// pending read only counts acks sent for rounds at or after its
 	// registration; pendingReads are the leadership-confirmation rounds in
@@ -142,6 +195,23 @@ type Node struct {
 	rng           *rand.Rand
 	electionTimer clock.Timer
 	heartbeatTick clock.Ticker
+
+	// applyQueue decouples commit detection from applyCh consumption:
+	// every handler enqueues under mu and one drainer goroutine forwards
+	// in order, so applies can never interleave out of log order.
+	applyQueue []Apply
+	applyKick  chan struct{}
+	drainDone  chan struct{}
+
+	// Replication counters (see ReplicationStats), mirrored into a
+	// metrics registry when the cluster is instrumented.
+	statAppends    atomic.Uint64
+	statEntries    atomic.Uint64
+	statRejects    atomic.Uint64
+	statSnapChunks atomic.Uint64
+	statSnapBytes  atomic.Uint64
+	mtr            atomic.Pointer[metrics.Registry]
+	mtrLabel       string
 
 	applyCh chan Apply
 	inbox   chan envelope
@@ -198,14 +268,49 @@ type (
 		Index uint64
 		OK    bool
 	}
+	// installSnapshot carries one chunk of a streamed snapshot (§7,
+	// adapted to offset/data/done chunking). Data is the snapshot bytes
+	// at Offset; Done marks the final chunk; Total is the full size.
 	installSnapshot struct {
 		Term      uint64
 		Leader    int
 		LastIndex uint64
 		LastTerm  uint64
+		Offset    int
 		Data      []byte
+		Done      bool
+		Total     int
+	}
+	// installSnapshotResp acks one chunk. NextOffset is the follower's
+	// accumulated length — where it wants the next chunk — which lets
+	// the leader resynchronize after chunk loss or duplication. Done
+	// acks a completed install: LastIndex is durable on the follower.
+	installSnapshotResp struct {
+		Term       uint64
+		LastIndex  uint64
+		NextOffset int
+		Done       bool
 	}
 )
+
+// snapXfer is one outbound snapshot stream to a follower. data aliases
+// the leader's snapshot bytes: snapshot slices are immutable once taken
+// (Compact and snapshot installs replace the slice wholesale, never
+// mutate it), so chunking needs no per-send copy.
+type snapXfer struct {
+	index  uint64
+	term   uint64
+	data   []byte
+	offset int
+}
+
+// pendingSnapshot accumulates inbound snapshot chunks on a follower
+// until the final (done) chunk installs them wholesale.
+type pendingSnapshot struct {
+	index uint64
+	term  uint64
+	data  []byte
+}
 
 // readIndexResult is what a ReadIndex call resolves to.
 type readIndexResult struct {
@@ -244,12 +349,16 @@ func startNode(id int, peers []int, cfg Config, store *MemoryStorage, trans *Tra
 		leaderID:    -1,
 		nextIndex:   make(map[int]uint64),
 		matchIndex:  make(map[int]uint64),
+		snapXfers:   make(map[int]*snapXfer),
 		readWaiters: make(map[uint64]chan readIndexResult),
 		rng:         rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
 		applyCh:     make(chan Apply, 256),
+		applyKick:   make(chan struct{}, 1),
+		drainDone:   make(chan struct{}),
 		inbox:       make(chan envelope, 256),
 		stopCh:      make(chan struct{}),
 		done:        make(chan struct{}),
+		mtrLabel:    fmt.Sprintf("node%d", id),
 	}
 	// Recover persisted state. Entries at or below the snapshot index
 	// were compacted away; applying resumes after the snapshot.
@@ -266,6 +375,7 @@ func startNode(id int, peers []int, cfg Config, store *MemoryStorage, trans *Tra
 	trans.attach(id, n.inbox)
 	n.electionTimer = cfg.Clock.NewTimer(n.randomElectionTimeout())
 	go n.run()
+	go n.drainApplies()
 	return n
 }
 
@@ -311,6 +421,20 @@ func (n *Node) CommitIndex() uint64 {
 	defer n.mu.Unlock()
 	return n.commitIndex
 }
+
+// ReplicationStats returns the node's cumulative replication counters.
+func (n *Node) ReplicationStats() ReplicationStats {
+	return ReplicationStats{
+		AppendsSent:    n.statAppends.Load(),
+		EntriesSent:    n.statEntries.Load(),
+		AppendRejects:  n.statRejects.Load(),
+		SnapChunksSent: n.statSnapChunks.Load(),
+		SnapBytesSent:  n.statSnapBytes.Load(),
+	}
+}
+
+// setRegistry mirrors the node's replication counters into reg.
+func (n *Node) setRegistry(reg *metrics.Registry) { n.mtr.Store(reg) }
 
 // ReadIndex runs the Raft read-index protocol (§6.4 of Ongaro's thesis)
 // and returns an index I such that every write acknowledged before the
@@ -520,6 +644,7 @@ func (n *Node) stop() {
 	close(n.stopCh)
 	n.mu.Unlock()
 	<-n.done
+	<-n.drainDone
 }
 
 func (n *Node) run() {
@@ -553,6 +678,49 @@ func (n *Node) run() {
 			}
 			n.mu.Unlock()
 		}
+	}
+}
+
+// drainApplies is the single goroutine feeding applyCh. Handlers enqueue
+// committed entries under mu; one ordered drainer replaces the old
+// per-broadcast deliver goroutines, whose interleaving could reorder
+// applies, and keeps message handling from blocking on a slow consumer.
+func (n *Node) drainApplies() {
+	defer close(n.drainDone)
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.applyKick:
+		}
+		for {
+			n.mu.Lock()
+			pending := n.applyQueue
+			n.applyQueue = nil
+			n.mu.Unlock()
+			if len(pending) == 0 {
+				break
+			}
+			for _, a := range pending {
+				select {
+				case n.applyCh <- a:
+				case <-n.stopCh:
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueueAppliesLocked queues newly committed applies for the drainer.
+func (n *Node) enqueueAppliesLocked(applies []Apply) {
+	if len(applies) == 0 {
+		return
+	}
+	n.applyQueue = append(n.applyQueue, applies...)
+	select {
+	case n.applyKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -614,6 +782,8 @@ func (n *Node) handle(env envelope) {
 		n.handleAppendEntriesResp(env.from, msg)
 	case installSnapshot:
 		n.handleInstallSnapshot(env.from, msg)
+	case installSnapshotResp:
+		n.handleInstallSnapshotResp(env.from, msg)
 	case readIndexReq:
 		n.handleReadIndexReq(env.from, msg)
 	case readIndexResp:
@@ -621,8 +791,8 @@ func (n *Node) handle(env envelope) {
 	}
 }
 
-// handleInstallSnapshot replaces a lagging follower's state with the
-// leader's snapshot.
+// handleInstallSnapshot accumulates one chunk of a streamed snapshot on
+// a lagging follower, installing the whole image on the final chunk.
 func (n *Node) handleInstallSnapshot(from int, msg installSnapshot) {
 	n.mu.Lock()
 	if msg.Term > n.currentTerm ||
@@ -630,7 +800,7 @@ func (n *Node) handleInstallSnapshot(from int, msg installSnapshot) {
 		n.becomeFollowerLocked(msg.Term, msg.Leader)
 	}
 	if msg.Term < n.currentTerm {
-		resp := appendEntriesResp{Term: n.currentTerm, Success: false}
+		resp := installSnapshotResp{Term: n.currentTerm}
 		n.mu.Unlock()
 		n.trans.send(n.id, from, resp)
 		return
@@ -639,26 +809,98 @@ func (n *Node) handleInstallSnapshot(from int, msg installSnapshot) {
 	n.resetElectionTimerLocked()
 
 	if msg.LastIndex <= n.commitIndex {
-		// Stale snapshot: we already have everything it covers.
-		resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: n.commitIndex}
+		// Stale snapshot: we already hold everything it covers. Done=true
+		// with our commit index lets the leader advance matchIndex and
+		// resume ordinary appends.
+		n.pendingSnap = nil
+		resp := installSnapshotResp{Term: n.currentTerm, LastIndex: n.commitIndex, NextOffset: msg.Total, Done: true}
 		n.mu.Unlock()
 		n.trans.send(n.id, from, resp)
 		return
 	}
-	// Discard the log and adopt the snapshot wholesale.
+	p := n.pendingSnap
+	if p == nil || p.index != msg.LastIndex || msg.Offset != len(p.data) {
+		if msg.Offset != 0 {
+			// Chunk loss, duplication, or a transfer restart: answer with
+			// the offset we actually need so the leader resynchronizes.
+			nextOff := 0
+			if p != nil && p.index == msg.LastIndex {
+				nextOff = len(p.data)
+			}
+			resp := installSnapshotResp{Term: n.currentTerm, LastIndex: msg.LastIndex, NextOffset: nextOff}
+			n.mu.Unlock()
+			n.trans.send(n.id, from, resp)
+			return
+		}
+		p = &pendingSnapshot{index: msg.LastIndex, term: msg.LastTerm}
+		n.pendingSnap = p
+	}
+	p.data = append(p.data, msg.Data...)
+	if !msg.Done {
+		resp := installSnapshotResp{Term: n.currentTerm, LastIndex: msg.LastIndex, NextOffset: len(p.data)}
+		n.mu.Unlock()
+		n.trans.send(n.id, from, resp)
+		return
+	}
+	// Final chunk: discard the log and adopt the snapshot wholesale. The
+	// accumulated buffer is exclusively ours, so node state and the Apply
+	// share it without copying.
+	n.pendingSnap = nil
 	n.log = nil
-	n.snapIndex = msg.LastIndex
-	n.snapTerm = msg.LastTerm
-	n.snapshot = append([]byte(nil), msg.Data...)
-	n.commitIndex = msg.LastIndex
-	n.lastApplied = msg.LastIndex
+	n.snapIndex = p.index
+	n.snapTerm = p.term
+	n.snapshot = p.data
+	n.commitIndex = p.index
+	n.lastApplied = p.index
 	n.persistLocked()
-	apply := Apply{IsSnapshot: true, Snapshot: append([]byte(nil), msg.Data...), SnapIndex: msg.LastIndex}
-	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: msg.LastIndex}
+	n.enqueueAppliesLocked([]Apply{{IsSnapshot: true, Snapshot: p.data, SnapIndex: p.index}})
+	resp := installSnapshotResp{Term: n.currentTerm, LastIndex: p.index, NextOffset: len(p.data), Done: true}
 	n.mu.Unlock()
-
-	n.deliver([]Apply{apply})
 	n.trans.send(n.id, from, resp)
+}
+
+// handleInstallSnapshotResp clocks an outbound snapshot stream forward
+// (one chunk in flight per follower) and, on completion, resumes
+// ordinary appends after the installed index.
+func (n *Node) handleInstallSnapshotResp(from int, msg installSnapshotResp) {
+	n.mu.Lock()
+	if msg.Term > n.currentTerm {
+		n.becomeFollowerLocked(msg.Term, -1)
+		n.mu.Unlock()
+		return
+	}
+	if n.state != Leader || msg.Term != n.currentTerm {
+		n.mu.Unlock()
+		return
+	}
+	if msg.Done {
+		delete(n.snapXfers, from)
+		if msg.LastIndex > n.matchIndex[from] {
+			n.matchIndex[from] = msg.LastIndex
+		}
+		if next := n.matchIndex[from] + 1; n.nextIndex[from] < next {
+			n.nextIndex[from] = next
+		}
+		n.advanceCommitLocked()
+		if n.lastIndexLocked() >= n.nextIndex[from] {
+			n.sendAppendLocked(from)
+		}
+		n.enqueueAppliesLocked(n.takeAppliesLocked())
+		n.mu.Unlock()
+		return
+	}
+	x := n.snapXfers[from]
+	if x == nil || x.index != n.snapIndex {
+		// The transfer restarted (new compaction) or was abandoned; the
+		// next heartbeat re-probes from the current snapshot.
+		n.mu.Unlock()
+		return
+	}
+	if msg.LastIndex == x.index && msg.NextOffset >= 0 && msg.NextOffset <= len(x.data) {
+		x.offset = msg.NextOffset
+		n.sendSnapshotLocked(from)
+	}
+	n.mu.Unlock()
 }
 
 func (n *Node) handleRequestVote(from int, msg requestVote) {
@@ -709,6 +951,8 @@ func (n *Node) maybeBecomeLeaderLocked() {
 		n.matchIndex[p] = 0
 	}
 	n.matchIndex[n.id] = n.lastIndexLocked()
+	n.snapXfers = make(map[int]*snapXfer)
+	n.pendingSnap = nil
 	if n.heartbeatTick != nil {
 		n.heartbeatTick.Stop()
 	}
@@ -733,6 +977,7 @@ func (n *Node) becomeFollowerLocked(term uint64, leader int) {
 	}
 	if wasLeader {
 		n.failPendingReadsLocked()
+		n.snapXfers = make(map[int]*snapXfer)
 	}
 	n.resetElectionTimerLocked()
 }
@@ -803,10 +1048,8 @@ func (n *Node) handleAppendEntries(from int, msg appendEntries) {
 	}
 	match := msg.PrevLogIndex + uint64(len(msg.Entries))
 	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match, Seq: msg.Seq}
-	applies := n.takeAppliesLocked()
+	n.enqueueAppliesLocked(n.takeAppliesLocked())
 	n.mu.Unlock()
-
-	n.deliver(applies)
 	n.trans.send(n.id, from, resp)
 }
 
@@ -836,10 +1079,27 @@ func (n *Node) handleAppendEntriesResp(from int, msg appendEntriesResp) {
 		if msg.MatchIndex > n.matchIndex[from] {
 			n.matchIndex[from] = msg.MatchIndex
 		}
-		n.nextIndex[from] = n.matchIndex[from] + 1
+		if next := n.matchIndex[from] + 1; n.nextIndex[from] < next {
+			n.nextIndex[from] = next
+		}
 		n.advanceCommitLocked()
+		// Pipelining: an ack frees window space, so ship pending backlog
+		// immediately instead of waiting for the next heartbeat tick.
+		// Only when the window is open — an over-eager empty probe racing
+		// in-flight entries would draw a reject and rewind the window.
+		if n.pipelined() && n.lastIndexLocked() >= n.nextIndex[from] {
+			if infE, infB := n.inflightLocked(from); infE < uint64(n.cfg.MaxInflightEntries) && infB < n.cfg.MaxInflightBytes {
+				n.sendAppendLocked(from)
+			}
+		}
 	} else {
-		// Back up and retry.
+		n.statRejects.Add(1)
+		if reg := n.mtr.Load(); reg != nil {
+			reg.Inc("raft_append_rejects", n.mtrLabel)
+		}
+		// Back up and retry. The optimistic window collapses to the
+		// conflict point, but never below what the follower already
+		// acknowledged.
 		next := msg.ConflictIndex
 		if next == 0 || next >= n.nextIndex[from] {
 			if n.nextIndex[from] > 1 {
@@ -848,12 +1108,14 @@ func (n *Node) handleAppendEntriesResp(from int, msg appendEntriesResp) {
 				next = 1
 			}
 		}
+		if next <= n.matchIndex[from] {
+			next = n.matchIndex[from] + 1
+		}
 		n.nextIndex[from] = next
 		n.sendAppendLocked(from)
 	}
-	applies := n.takeAppliesLocked()
+	n.enqueueAppliesLocked(n.takeAppliesLocked())
 	n.mu.Unlock()
-	n.deliver(applies)
 }
 
 // advanceCommitLocked moves commitIndex to the highest index replicated on
@@ -882,10 +1144,35 @@ func (n *Node) broadcastAppendLocked() {
 	}
 	// A single-node cluster commits by itself.
 	n.advanceCommitLocked()
-	applies := n.takeAppliesLocked()
-	if len(applies) > 0 {
-		go n.deliver(applies)
+	n.enqueueAppliesLocked(n.takeAppliesLocked())
+}
+
+// pipelined reports whether replication uses an in-flight window
+// (false = the stop-and-wait A/B mode).
+func (n *Node) pipelined() bool { return n.cfg.MaxInflightEntries > 1 }
+
+// entryBytes approximates an entry's wire cost for window accounting.
+func entryBytes(e Entry) int { return len(e.Cmd) + 16 }
+
+// inflightLocked reports the unacknowledged pipeline window to a
+// follower: entries and bytes sent beyond its acknowledged match index.
+func (n *Node) inflightLocked(to int) (entries uint64, bytes int) {
+	next := n.nextIndex[to]
+	if next == 0 {
+		next = 1
 	}
+	match := n.matchIndex[to]
+	if next-1 <= match {
+		return 0, 0
+	}
+	lo := match + 1
+	if lo <= n.snapIndex {
+		lo = n.snapIndex + 1
+	}
+	for i := lo; i < next && i <= n.lastIndexLocked(); i++ {
+		bytes += entryBytes(n.entryAtLocked(i))
+	}
+	return next - 1 - match, bytes
 }
 
 func (n *Node) sendAppendLocked(to int) {
@@ -894,15 +1181,9 @@ func (n *Node) sendAppendLocked(to int) {
 		next = 1
 	}
 	if next <= n.snapIndex {
-		// The follower needs entries that were compacted away: ship the
+		// The follower needs entries that were compacted away: stream the
 		// snapshot instead (§7, InstallSnapshot).
-		n.trans.send(n.id, to, installSnapshot{
-			Term:      n.currentTerm,
-			Leader:    n.id,
-			LastIndex: n.snapIndex,
-			LastTerm:  n.snapTerm,
-			Data:      append([]byte(nil), n.snapshot...),
-		})
+		n.sendSnapshotLocked(to)
 		return
 	}
 	prevIdx := next - 1
@@ -914,12 +1195,91 @@ func (n *Node) sendAppendLocked(to int) {
 		LeaderCommit: n.commitIndex,
 		Seq:          n.hbSeq,
 	}
-	if n.lastIndexLocked() >= next {
-		entries := n.log[next-n.snapIndex-1:]
-		msg.Entries = make([]Entry, len(entries))
-		copy(msg.Entries, entries)
+	if last := n.lastIndexLocked(); last >= next {
+		if !n.pipelined() {
+			// Stop-and-wait: re-ship the full pending suffix; nextIndex
+			// moves only when the follower acknowledges it.
+			entries := n.log[next-n.snapIndex-1:]
+			msg.Entries = make([]Entry, len(entries))
+			copy(msg.Entries, entries)
+		} else if infE, infB := n.inflightLocked(to); infE < uint64(n.cfg.MaxInflightEntries) && infB < n.cfg.MaxInflightBytes {
+			end := last
+			if maxE := uint64(n.cfg.MaxAppendEntries); maxE > 0 && end >= next+maxE {
+				end = next + maxE - 1
+			}
+			if room := uint64(n.cfg.MaxInflightEntries) - infE; end >= next+room {
+				end = next + room - 1
+			}
+			budget := n.cfg.MaxInflightBytes - infB
+			entries := make([]Entry, 0, end-next+1)
+			for i := next; i <= end; i++ {
+				e := n.entryAtLocked(i)
+				cost := entryBytes(e)
+				if len(entries) > 0 && cost > budget {
+					break
+				}
+				budget -= cost
+				entries = append(entries, e)
+			}
+			msg.Entries = entries
+			// Optimistic advance: the next send continues after this
+			// window; a consistency reject rewinds it.
+			n.nextIndex[to] = next + uint64(len(entries))
+		}
+		// Window full: fall through to an empty append — its ack moves
+		// matchIndex and reopens the window.
 	}
+	n.countAppendLocked(to, len(msg.Entries))
 	n.trans.send(n.id, to, msg)
+}
+
+// countAppendLocked tallies one outbound append for ReplicationStats
+// and, when instrumented, the registry (entries-per-append ratio and
+// in-flight window depth).
+func (n *Node) countAppendLocked(to, entries int) {
+	n.statAppends.Add(1)
+	n.statEntries.Add(uint64(entries))
+	if reg := n.mtr.Load(); reg != nil {
+		reg.Inc("raft_appends_sent", n.mtrLabel)
+		reg.Add("raft_entries_sent", float64(entries), n.mtrLabel)
+		inf, _ := n.inflightLocked(to)
+		reg.SetGauge("raft_inflight_entries", float64(inf), n.mtrLabel)
+	}
+}
+
+// sendSnapshotLocked ships the next chunk of the leader's snapshot to a
+// follower whose needed entries were compacted away. One chunk per
+// transfer is in flight; heartbeat ticks re-send the current chunk (the
+// follower's NextOffset makes duplicates harmless) and each ack clocks
+// the stream forward. Chunks alias the immutable snapshot bytes — no
+// per-send copy of the full image.
+func (n *Node) sendSnapshotLocked(to int) {
+	x := n.snapXfers[to]
+	if x == nil || x.index != n.snapIndex {
+		x = &snapXfer{index: n.snapIndex, term: n.snapTerm, data: n.snapshot}
+		n.snapXfers[to] = x
+	}
+	size := n.cfg.SnapChunkSize
+	if size <= 0 || size > len(x.data)-x.offset {
+		size = len(x.data) - x.offset
+	}
+	end := x.offset + size
+	n.statSnapChunks.Add(1)
+	n.statSnapBytes.Add(uint64(size))
+	if reg := n.mtr.Load(); reg != nil {
+		reg.Inc("raft_snapshot_chunks_sent", n.mtrLabel)
+		reg.Add("raft_snapshot_bytes_sent", float64(size), n.mtrLabel)
+	}
+	n.trans.send(n.id, to, installSnapshot{
+		Term:      n.currentTerm,
+		Leader:    n.id,
+		LastIndex: x.index,
+		LastTerm:  x.term,
+		Offset:    x.offset,
+		Data:      x.data[x.offset:end],
+		Done:      end == len(x.data),
+		Total:     len(x.data),
+	})
 }
 
 // takeAppliesLocked collects newly committed entries for delivery.
@@ -931,17 +1291,6 @@ func (n *Node) takeAppliesLocked() []Apply {
 		out = append(out, Apply{Entry: e})
 	}
 	return out
-}
-
-// deliver pushes applies in order, dropping them if the node stops first.
-func (n *Node) deliver(applies []Apply) {
-	for _, a := range applies {
-		select {
-		case n.applyCh <- a:
-		case <-n.stopCh:
-			return
-		}
-	}
 }
 
 func (n *Node) lastIndexLocked() uint64 { return n.snapIndex + uint64(len(n.log)) }

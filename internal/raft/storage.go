@@ -32,16 +32,17 @@ func NewMemoryStorage() *MemoryStorage {
 	return &MemoryStorage{state: PersistentState{VotedFor: -1}}
 }
 
-// Save atomically persists the node's state.
+// Save atomically persists the node's state. The log is copied (the
+// node truncates and appends it in place); the snapshot is aliased —
+// snapshot slices are immutable once taken (Compact and snapshot
+// installs replace the slice wholesale), and Save runs on every log
+// append, so copying the full image here would dominate write cost.
 func (m *MemoryStorage) Save(s PersistentState) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	logCopy := make([]Entry, len(s.Log))
 	copy(logCopy, s.Log)
 	s.Log = logCopy
-	snapCopy := make([]byte, len(s.Snapshot))
-	copy(snapCopy, s.Snapshot)
-	s.Snapshot = snapCopy
 	m.state = s
 	m.saves++
 }
@@ -54,9 +55,6 @@ func (m *MemoryStorage) Load() PersistentState {
 	logCopy := make([]Entry, len(s.Log))
 	copy(logCopy, s.Log)
 	s.Log = logCopy
-	snapCopy := make([]byte, len(s.Snapshot))
-	copy(snapCopy, s.Snapshot)
-	s.Snapshot = snapCopy
 	return s
 }
 

@@ -18,6 +18,7 @@ type Transport struct {
 	mu          sync.Mutex
 	inboxes     map[int]chan<- envelope
 	partitioned map[int]bool
+	delays      map[int]time.Duration
 	dropped     int
 }
 
@@ -28,7 +29,21 @@ func NewTransport(clk clock.Clock, d time.Duration) *Transport {
 		latency:     d,
 		inboxes:     make(map[int]chan<- envelope),
 		partitioned: make(map[int]bool),
+		delays:      make(map[int]time.Duration),
 	}
+}
+
+// SetNodeDelay adds extra one-way latency to every message addressed to
+// id, modeling a slow follower (congested link, overloaded replica).
+// A non-positive d removes the extra delay.
+func (t *Transport) SetNodeDelay(id int, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d <= 0 {
+		delete(t.delays, id)
+		return
+	}
+	t.delays[id] = d
 }
 
 func (t *Transport) attach(id int, inbox chan<- envelope) {
@@ -70,6 +85,7 @@ func (t *Transport) send(from, to int, msg any) {
 	t.mu.Lock()
 	inbox, ok := t.inboxes[to]
 	blocked := t.partitioned[from] || t.partitioned[to]
+	latency := t.latency + t.delays[to]
 	if !ok || blocked {
 		t.dropped++
 		t.mu.Unlock()
@@ -78,11 +94,11 @@ func (t *Transport) send(from, to int, msg any) {
 	t.mu.Unlock()
 
 	env := envelope{from: from, msg: msg}
-	if t.latency <= 0 {
+	if latency <= 0 {
 		t.deliver(to, inbox, env)
 		return
 	}
-	t.clk.AfterFunc(t.latency, func() { t.deliver(to, inbox, env) })
+	t.clk.AfterFunc(latency, func() { t.deliver(to, inbox, env) })
 }
 
 func (t *Transport) deliver(to int, inbox chan<- envelope, env envelope) {

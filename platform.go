@@ -84,6 +84,20 @@ type Options struct {
 	// state with bounded staleness and no quorum requirement.
 	ReadMode string
 
+	// WriteMode selects how etcd writes reach the Raft log: "batch" (the
+	// default) coalesces concurrent writes into one group-commit entry
+	// per replication round; "single" proposes each write as its own
+	// entry (the pre-batching behavior, kept for A/B comparison — see
+	// BenchmarkEtcdWrites).
+	WriteMode string
+
+	// Replication selects the Raft replication discipline: "pipeline"
+	// (the default) keeps a bounded in-flight AppendEntries window per
+	// follower with optimistic nextIndex advance; "stopwait" re-ships
+	// the full pending suffix each broadcast and advances only on acks
+	// (the pre-pipelining behavior, kept for A/B comparison).
+	Replication string
+
 	// ControlPlane selects how the core services observe state changes:
 	// "watch" (the default) drives the Guardian and LCM from
 	// revision-ordered etcd watches and the metadata change feed, with
@@ -202,7 +216,16 @@ func New(opts Options) (*Platform, error) {
 	p.store = objectstore.New(p.clk, p.link)
 	p.mongo = mongo.NewSharded(p.clk, opts.MetadataShards)
 	p.mongo.Instrument(p.metrics)
-	p.etcd = etcd.NewSharded(opts.EtcdReplicas, p.clk, opts.MetadataShards)
+	kv, err := etcd.NewWithOptions(opts.EtcdReplicas, p.clk, etcd.StoreOptions{
+		Shards:      opts.MetadataShards,
+		WriteMode:   opts.WriteMode,
+		Replication: opts.Replication,
+	})
+	if err != nil {
+		p.closePartial()
+		return nil, fmt.Errorf("dlaas: %w", err)
+	}
+	p.etcd = kv
 	if err := p.etcd.SetReadMode(opts.ReadMode); err != nil {
 		p.closePartial()
 		return nil, fmt.Errorf("dlaas: %w", err)
@@ -254,7 +277,6 @@ func New(opts Options) (*Platform, error) {
 	lcmSvc.MaxDeployAttempts = opts.MaxDeployAttempts
 	lcmSvc.ControlPlane = opts.ControlPlane
 
-	var err error
 	p.apiDep, err = p.cluster.CreateDeployment("dlaas-api", opts.APIReplicas, kube.PodSpec{
 		Labels:        map[string]string{"app": "dlaas-api"},
 		RestartPolicy: kube.RestartAlways,
