@@ -199,18 +199,30 @@ func BenchmarkAblationEtcdReplication(b *testing.B) {
 	}
 }
 
-// BenchmarkEtcdReads compares the three read modes on the hottest path
-// the control plane has — etcd Get/Range — under a 3-node cluster with
-// a partitioned minority (the old leader, isolated mid-run, so the
-// stale-leader hazards are live). Reported per mode: Raft proposals per
-// read (read-index and serializable must come in at ~0; propose pays 1
-// each), virtual-time latency per read, and a correctness check that
-// every mode returns the acknowledged values. The read-index rows are
-// the payoff of serving reads from local MVCC snapshots behind a leader
-// read-index instead of full log round trips.
+// BenchmarkEtcdReads compares the four read modes on the hottest path
+// the control plane has — etcd Get/Range — with 64 concurrent readers
+// on a 3-node cluster whose surviving follower is slow (+5ms one-way)
+// and whose original leader is partitioned mid-run, so the stale-leader
+// hazards are live and every linearizable answer comes from the
+// successor's quorum. Reported per mode: quorum confirmation rounds per
+// linearizable read (the PR 9 headline — leaseread amortizes to ~0 vs
+// exactly 1 in readindex mode), lease fast-path reads per read, Raft
+// proposals per read (the PR 5 invariant: only propose mode pays), and
+// virtual-time latency per read. The loop itself is the leader-
+// partition linearizability probe: every read must return the
+// acknowledged post-partition value in every mode (the stale isolated
+// leader is never allowed to answer; serializable mode passes because
+// freshest-replica selection skips the lagging minority). Run with
+// -benchtime=64x — at 1x there is no read concurrency for coalescing
+// or the lease to amortize over.
 func BenchmarkEtcdReads(b *testing.B) {
 	const keys = 16
-	for _, mode := range []string{etcd.ReadModeReadIndex, etcd.ReadModePropose, etcd.ReadModeSerializable} {
+	const readers = 64
+	modes := []string{
+		etcd.ReadModeLease, etcd.ReadModeReadIndex,
+		etcd.ReadModePropose, etcd.ReadModeSerializable,
+	}
+	for _, mode := range modes {
 		b.Run(mode, func(b *testing.B) {
 			clk := clock.NewSim()
 			defer clk.Close()
@@ -224,37 +236,69 @@ func BenchmarkEtcdReads(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			// Partition the current leader (a minority of one): the
-			// majority elects a successor, and reads must keep returning
-			// the acknowledged state — never the deposed leader's view.
-			if lead := s.LeaderID(); lead >= 0 {
+			// Degrade one follower, then partition the current leader (a
+			// minority of one): the majority — successor plus the slow
+			// follower — elects and keeps serving, and reads must keep
+			// returning the acknowledged state, never the deposed
+			// leader's view.
+			lead := s.LeaderID()
+			for id := 0; id < 3; id++ {
+				if id != lead {
+					s.SetNodeDelay(id, 5*time.Millisecond)
+					break
+				}
+			}
+			if lead >= 0 {
 				s.PartitionNode(lead)
 			}
 			if _, err := s.Put("/jobs/j1/phase", "STORING"); err != nil {
 				b.Fatal(err) // commits on the majority side
 			}
+			// Let the successor's check-quorum lease arm before measuring.
+			clk.Sleep(200 * time.Millisecond)
 
 			props := s.Proposals()
+			rs0 := s.ReadStats()
 			start := clk.Now()
+			var next atomic.Int64
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				v, found, err := s.Get("/jobs/j1/phase")
-				if err != nil {
-					b.Fatal(err)
-				}
-				if !found || v != "STORING" {
-					b.Fatalf("mode %s read (%q,%v), want the acknowledged write", mode, v, found)
-				}
-				kvs, err := s.Range("/jobs/j1/learners/")
-				if err != nil {
-					b.Fatal(err)
-				}
-				if len(kvs) != keys {
-					b.Fatalf("mode %s ranged %d keys, want %d", mode, len(kvs), keys)
-				}
+			var wg sync.WaitGroup
+			for w := 0; w < readers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						v, found, err := s.Get("/jobs/j1/phase")
+						if err != nil {
+							b.Errorf("mode %s get: %v", mode, err)
+							return
+						}
+						if !found || v != "STORING" {
+							b.Errorf("mode %s read (%q,%v), want the acknowledged write", mode, v, found)
+							return
+						}
+						kvs, err := s.Range("/jobs/j1/learners/")
+						if err != nil {
+							b.Errorf("mode %s range: %v", mode, err)
+							return
+						}
+						if len(kvs) != keys {
+							b.Errorf("mode %s ranged %d keys, want %d", mode, len(kvs), keys)
+							return
+						}
+					}
+				}()
 			}
+			wg.Wait()
 			b.StopTimer()
+			rs1 := s.ReadStats()
 			reads := float64(2 * b.N) // one Get + one Range per iteration
+			b.ReportMetric(float64(rs1.Rounds-rs0.Rounds)/reads, "rounds/read")
+			b.ReportMetric(float64(rs1.LeaseReads-rs0.LeaseReads)/reads, "lease-reads/read")
 			b.ReportMetric(float64(s.Proposals()-props)/reads, "proposals/read")
 			b.ReportMetric(float64(clk.Since(start).Microseconds())/reads/1000, "virtual-ms/read")
 		})

@@ -6,14 +6,16 @@
 // replicated (3-way), and uses the Raft consensus protocol").
 //
 // Writes are sequenced through the Raft log. Reads are served, in the
-// default read-index mode, from a local replica's MVCC snapshot after
-// the leader confirms its authority with a quorum heartbeat round
-// (raft.Node.ReadIndex) and the replica's applied floor catches up —
-// linearizable results with zero log entries per read. SetReadMode
-// selects the propose escape hatch (reads as full proposals, the old
-// behavior) or serializable mode (stale-tolerant local reads that need
-// no quorum). Watches observe the apply stream and survive the crash of
-// any minority of nodes.
+// default leaseread mode, from the least-loaded replica's MVCC snapshot
+// at an applied floor the leader vouches for — via its check-quorum
+// lease when live (zero messages per read) or a coalesced quorum
+// heartbeat round otherwise (one round resolves every read in flight
+// during it) — linearizable results with zero log entries per read.
+// SetReadMode selects the readindex hatch (one dedicated round per
+// read, the pre-lease behavior), the propose hatch (reads as full
+// proposals), or serializable mode (stale-tolerant local reads that
+// need no quorum). Watches observe the apply stream and survive the
+// crash of any minority of nodes.
 //
 // Since the metadata-plane refactor this package is a facade over the
 // sharded MVCC engine in internal/store: each replica's deterministic
@@ -162,9 +164,18 @@ type result struct {
 // Read modes selectable via SetReadMode (Options.ReadMode at the
 // platform layer).
 const (
-	// ReadModeReadIndex (the default) serves Get/Range/read-only Txn
-	// from a local replica's MVCC snapshot after a leader read-index
-	// round: linearizable, zero log entries per read.
+	// ReadModeLease (the default) serves Get/Range/read-only Txn
+	// linearizably at amortized quorum cost: concurrent leader
+	// confirmation rounds coalesce (one heartbeat round resolves every
+	// read in flight during it), and while the leader's check-quorum
+	// lease is live reads cost zero messages. Skew beyond the raft
+	// drift bound, step-down, or term change kill the lease and reads
+	// fall back to full rounds — never to staleness.
+	ReadModeLease = "leaseread"
+	// ReadModeReadIndex serves reads from a local replica's MVCC
+	// snapshot after a dedicated leader read-index round: linearizable,
+	// zero log entries, exactly one heartbeat round per read — the PR 5
+	// behavior, kept as the A/B escape hatch for lease reads.
 	ReadModeReadIndex = "readindex"
 	// ReadModePropose sequences every read through the Raft log as a
 	// full proposal — the pre-read-index behavior, kept as the A/B
@@ -240,6 +251,14 @@ type opCounter struct {
 	fail atomic.Uint64
 }
 
+// replicaLoad tracks one replica's read traffic for least-loaded
+// routing: inflight is the gauge routing reads against, routed the
+// cumulative dispatch count.
+type replicaLoad struct {
+	inflight atomic.Int64
+	routed   atomic.Uint64
+}
+
 // Store is a handle to the replicated KV cluster.
 type Store struct {
 	clk     clock.Clock
@@ -274,6 +293,14 @@ type Store struct {
 	// proposals counts entries actually submitted to the Raft log — the
 	// numerator of the proposals-per-read comparison across read modes.
 	proposals atomic.Uint64
+
+	// leaderCache short-circuits the per-op leader scan; dropLeader
+	// invalidates it on any leader-side failure. readLoads carries the
+	// fixed-membership per-replica routing gauges and counters; routeRR
+	// rotates tie-breaks so idle read traffic spreads across replicas.
+	leaderCache atomic.Pointer[raft.Node]
+	readLoads   map[int]*replicaLoad
+	routeRR     atomic.Uint64
 
 	mtr atomic.Pointer[metrics.Registry]
 
@@ -343,8 +370,12 @@ func NewWithOptions(n int, clk clock.Clock, o StoreOptions) (*Store, error) {
 		sms:         make(map[int]*stateMachine, n),
 		stops:       make(map[int]chan struct{}, n),
 	}
+	s.readLoads = make(map[int]*replicaLoad, n)
+	for _, id := range s.cluster.IDs() {
+		s.readLoads[id] = &replicaLoad{}
+	}
 	s.compactEvery.Store(defaultCompactEvery)
-	s.readMode.Store(ReadModeReadIndex)
+	s.readMode.Store(ReadModeLease) // matches raft's lease/coalesce defaults
 	s.writeMode.Store(o.WriteMode)
 	for i := range s.waiters {
 		s.waiters[i].m = make(map[string]chan result)
@@ -357,17 +388,22 @@ func NewWithOptions(n int, clk clock.Clock, o StoreOptions) (*Store, error) {
 }
 
 // SetReadMode selects how Get, Range and read-only Txn are served
-// ("" selects the default, ReadModeReadIndex). Writes always go through
-// the Raft log regardless of mode.
+// ("" selects the default, ReadModeLease). Writes always go through
+// the Raft log regardless of mode. Switching modes also flips the raft
+// lease/coalescing switches cluster-wide, so ReadModeReadIndex is the
+// exact one-heartbeat-round-per-read PR 5 baseline.
 func (s *Store) SetReadMode(mode string) error {
 	switch mode {
 	case "":
-		mode = ReadModeReadIndex
-	case ReadModeReadIndex, ReadModePropose, ReadModeSerializable:
+		mode = ReadModeLease
+	case ReadModeLease, ReadModeReadIndex, ReadModePropose, ReadModeSerializable:
 	default:
 		return fmt.Errorf("etcd: unknown read mode %q", mode)
 	}
 	s.readMode.Store(mode)
+	amortized := mode == ReadModeLease
+	s.cluster.SetLeaseReads(amortized)
+	s.cluster.SetReadCoalescing(amortized)
 	return nil
 }
 
@@ -837,7 +873,10 @@ func (s *Store) replicaAt(rev uint64) *stateMachine {
 }
 
 // read serves a read-only command (opGet, opRange, or an opTxn with no
-// mutations) in the given read mode.
+// mutations) in the given read mode. ReadModeLease and
+// ReadModeReadIndex share the read-index path — the lease fast path and
+// round coalescing live inside raft.Node.ReadIndex, toggled by
+// SetReadMode.
 func (s *Store) read(mode string, cmd command) (result, error) {
 	switch mode {
 	case ReadModePropose:
@@ -850,10 +889,11 @@ func (s *Store) read(mode string, cmd command) (result, error) {
 }
 
 // readIndexRead serves cmd linearizably without a log entry: obtain a
-// read index from the leader (ReadIndex confirms leadership with a
-// quorum heartbeat round, so a deposed leader can never answer), wait
-// for the contacted node's state machine to apply through it, then read
-// the local MVCC snapshot.
+// read index from the leader (a live check-quorum lease answers it for
+// free; otherwise ReadIndex confirms leadership with a quorum heartbeat
+// round, so a deposed leader can never answer), wait for a routed
+// replica's state machine to apply through it, then read that local
+// MVCC snapshot.
 func (s *Store) readIndexRead(cmd command) (result, error) {
 	deadline := s.clk.Now().Add(s.timeout)
 	for {
@@ -871,20 +911,13 @@ func (s *Store) readIndexRead(cmd command) (result, error) {
 		if err != nil {
 			// No leader, deposed mid-round, or no quorum answered: retry
 			// against whoever leads next, bounded by the deadline.
+			s.dropLeader()
 			if !s.pause(deadline) {
 				return result{}, ErrTimeout
 			}
 			continue
 		}
-		sm := s.replica(node.ID())
-		if sm == nil {
-			// The node crashed after answering; ask another.
-			if !s.pause(deadline) {
-				return result{}, ErrTimeout
-			}
-			continue
-		}
-		eng, ok := s.waitApplied(sm, idx, deadline)
+		eng, ok := s.routedWait(idx, deadline)
 		if !ok {
 			if s.closed.Load() {
 				return result{}, ErrClosed
@@ -895,25 +928,111 @@ func (s *Store) readIndexRead(cmd command) (result, error) {
 	}
 }
 
-// serializableRead serves cmd from the freshest live replica's local
+// routeSlice bounds one applied-floor wait on a routed replica before
+// re-routing: a partitioned or crashed replica stops applying, and its
+// piling-up in-flight gauge steers later picks elsewhere while this
+// read hops to a replica still making progress.
+const routeSlice = 250 * time.Millisecond
+
+// routedWait dispatches a read's applied-floor wait to the least-loaded
+// live replica — follower read serving. Replicas already applied
+// through idx are preferred (their wait costs nothing); ties rotate.
+func (s *Store) routedWait(idx uint64, deadline time.Time) (*store.Engine, bool) {
+	for {
+		id, sm := s.routeReplica(idx)
+		if sm == nil {
+			if s.closed.Load() || !s.pause(deadline) {
+				return nil, false
+			}
+			continue
+		}
+		ld := s.readLoads[id]
+		ld.inflight.Add(1)
+		ld.routed.Add(1)
+		if reg := s.mtr.Load(); reg != nil {
+			label := fmt.Sprintf("node%d", id)
+			reg.Inc("etcd_reads_routed", label)
+			reg.SetGauge("etcd_inflight_reads", float64(ld.inflight.Load()), label)
+		}
+		sliceEnd := s.clk.Now().Add(routeSlice)
+		if sliceEnd.After(deadline) {
+			sliceEnd = deadline
+		}
+		eng, ok := s.waitApplied(sm, idx, sliceEnd)
+		ld.inflight.Add(-1)
+		if ok {
+			return eng, true
+		}
+		if s.closed.Load() || !s.clk.Now().Before(deadline) {
+			return nil, false
+		}
+	}
+}
+
+// routeReplica picks the replica for one applied-floor wait: live,
+// already-applied-through-idx replicas first, least in-flight load
+// within a class, rotation breaking exact ties.
+func (s *Store) routeReplica(idx uint64) (int, *stateMachine) {
+	offset := int(s.routeRR.Add(1))
+	ids := s.cluster.IDs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bestID := -1
+	var best *stateMachine
+	var bestLoad int64
+	var bestReady bool
+	for i := 0; i < len(ids); i++ {
+		id := ids[(i+offset)%len(ids)]
+		sm := s.sms[id]
+		if sm == nil {
+			continue
+		}
+		ready := sm.engine().Snapshot() >= idx
+		load := s.readLoads[id].inflight.Load()
+		if best == nil || (ready && !bestReady) ||
+			(ready == bestReady && load < bestLoad) {
+			bestID, best, bestLoad, bestReady = id, sm, load, ready
+		}
+	}
+	return bestID, best
+}
+
+// serializableRead serves cmd from a freshest live replica's local
 // state, no leadership round: bounded staleness, never wrongness, and
-// it stays available when the cluster has no quorum.
+// it stays available when the cluster has no quorum. Among equally
+// fresh replicas the least read-loaded one serves (freshness first —
+// trading it away would widen the staleness bound).
 func (s *Store) serializableRead(cmd command) (result, error) {
 	if s.closed.Load() {
 		return result{}, ErrClosed
 	}
+	offset := int(s.routeRR.Add(1))
+	ids := s.cluster.IDs()
+	bestID := -1
 	var best *store.Engine
 	var bestFloor uint64
+	var bestLoad int64
 	s.mu.Lock()
-	for _, sm := range s.sms {
+	for i := 0; i < len(ids); i++ {
+		id := ids[(i+offset)%len(ids)]
+		sm := s.sms[id]
+		if sm == nil {
+			continue
+		}
 		eng := sm.engine()
-		if f := eng.Snapshot(); best == nil || f > bestFloor {
-			best, bestFloor = eng, f
+		f := eng.Snapshot()
+		load := s.readLoads[id].inflight.Load()
+		if best == nil || f > bestFloor || (f == bestFloor && load < bestLoad) {
+			bestID, best, bestFloor, bestLoad = id, eng, f, load
 		}
 	}
 	s.mu.Unlock()
 	if best == nil {
 		return result{}, ErrTimeout // every replica crashed
+	}
+	s.readLoads[bestID].routed.Add(1)
+	if reg := s.mtr.Load(); reg != nil {
+		reg.Inc("etcd_reads_routed", fmt.Sprintf("node%d", bestID))
 	}
 	return readLocal(best, cmd), nil
 }
@@ -961,11 +1080,37 @@ func readLocal(eng *store.Engine, cmd command) result {
 	return res
 }
 
+// leader resolves the current leader through a cached pointer: the
+// hot paths (every read-index round, every proposal) must not scan all
+// nodes per op. The cached node revalidates by its own Status — one
+// mutex, no cluster scan — and the cache drops on any leader-side
+// failure (ErrNotLeader / ErrStopped / round timeout, via dropLeader)
+// or on observing the node out of Leader state; the next call then
+// pays one full scan to re-prime it.
+func (s *Store) leader() *raft.Node {
+	if n := s.leaderCache.Load(); n != nil {
+		if st, _ := n.Status(); st == raft.Leader {
+			return n
+		}
+		s.leaderCache.CompareAndSwap(n, nil)
+	}
+	n := s.cluster.Leader()
+	if n != nil {
+		s.leaderCache.Store(n)
+	}
+	return n
+}
+
+// dropLeader invalidates the leader cache after a leader-side failure
+// (the node answered ErrNotLeader, stopped, or its round timed out —
+// leadership likely moved even if the stale node still believes).
+func (s *Store) dropLeader() { s.leaderCache.Store(nil) }
+
 // readNode picks the node to ask for a read index: the leader when one
 // is visible, otherwise any live node, whose ReadIndex forwards to the
 // leader it believes in.
 func (s *Store) readNode() *raft.Node {
-	if l := s.cluster.Leader(); l != nil {
+	if l := s.leader(); l != nil {
 		return l
 	}
 	for _, id := range s.cluster.IDs() {
@@ -1128,12 +1273,13 @@ func (s *Store) flushBatch(q []command) {
 		if s.closed.Load() {
 			return
 		}
-		leader := s.cluster.Leader()
+		leader := s.leader()
 		if leader == nil {
 			s.clk.Sleep(retryPause)
 			continue
 		}
 		if _, _, err := leader.Propose(payload); err != nil {
+			s.dropLeader()
 			s.clk.Sleep(retryPause)
 			continue
 		}
@@ -1146,6 +1292,7 @@ func (s *Store) flushBatch(q []command) {
 		case <-t.C():
 			// Re-propose: leadership may have changed and the entry been
 			// lost (sub-command dedup makes the retry idempotent).
+			s.dropLeader()
 		case <-s.stopCh:
 			t.Stop()
 			return
@@ -1170,12 +1317,13 @@ func (s *Store) proposeSingle(cmd command) (result, error) {
 
 	deadline := s.clk.Now().Add(s.timeout)
 	for s.clk.Now().Before(deadline) {
-		leader := s.cluster.Leader()
+		leader := s.leader()
 		if leader == nil {
 			s.clk.Sleep(retryPause)
 			continue
 		}
 		if _, _, err := leader.Propose(payload); err != nil {
+			s.dropLeader()
 			s.clk.Sleep(retryPause)
 			continue
 		}
@@ -1189,6 +1337,7 @@ func (s *Store) proposeSingle(cmd command) (result, error) {
 			t.Stop()
 			return res, nil
 		case <-t.C():
+			s.dropLeader()
 		case <-s.stopCh:
 			t.Stop()
 			return result{}, ErrClosed
@@ -1211,6 +1360,7 @@ func (s *Store) CrashNode(id int) {
 	}
 	delete(s.sms, id)
 	s.mu.Unlock()
+	s.dropLeader() // the crashed node may be the cached leader
 	s.cluster.Crash(id)
 }
 
@@ -1226,11 +1376,73 @@ func (s *Store) Nodes() []int { return s.cluster.IDs() }
 
 // LeaderID returns the current leader's ID, or -1.
 func (s *Store) LeaderID() int {
-	l := s.cluster.Leader()
+	l := s.leader()
 	if l == nil {
 		return -1
 	}
 	return l.ID()
+}
+
+// SkewNodeClock offsets raft node id's local clock readings by d (0
+// heals it) — the fault primitive the lease-safety tests and the chaos
+// layer drive. Timers are unaffected: real skew shifts the values a
+// node reads, not the rate its timers fire at, which is exactly what
+// makes a skewed leader's lease deadline dangerous.
+func (s *Store) SkewNodeClock(id int, d time.Duration) {
+	s.cluster.SetClockSkew(id, d)
+}
+
+// ReadStats sums the raft read-path counters (confirmation rounds,
+// reads resolved per round, lease fast-path reads, lease expiries)
+// across live nodes — the numerators of the rounds-per-read economy
+// BenchmarkEtcdReads measures.
+func (s *Store) ReadStats() raft.ReadStats { return s.cluster.ReadStats() }
+
+// ReadsRouted reports how many reads each replica has served (applied-
+// floor waits in the read-index/lease modes, local serves in
+// serializable mode), keyed by node ID — the follower-routing
+// distribution.
+func (s *Store) ReadsRouted() map[int]uint64 {
+	out := make(map[int]uint64, len(s.readLoads))
+	for id, ld := range s.readLoads {
+		out[id] = ld.routed.Load()
+	}
+	return out
+}
+
+// backpressureQueueNominal is the group-commit queue depth treated as
+// full saturation by Backpressure: past one batch-window's worth of
+// queued commands, admission layers should shed or delay background
+// load.
+const backpressureQueueNominal = 64
+
+// Backpressure folds the write path's two congestion gauges into one
+// signal in [0, 1]: the leader's deepest raft pipeline window as a
+// fraction of its entry cap (raft_inflight_entries saturating means
+// followers are not acking fast enough) and the group-commit queue
+// depth against its nominal capacity (etcd_batch_queue_depth growing
+// means rounds are not draining the queue). The max of the two is the
+// binding constraint; 1 means fully saturated.
+func (s *Store) Backpressure() float64 {
+	var pressure float64
+	if l := s.leader(); l != nil {
+		if entries, limit := l.MaxInflight(); limit > 0 {
+			pressure = float64(entries) / float64(limit)
+		}
+	}
+	s.batchMu.Lock()
+	depth := len(s.batchQ)
+	s.batchMu.Unlock()
+	if q := float64(depth) / backpressureQueueNominal; q > pressure {
+		pressure = q
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	if reg := s.mtr.Load(); reg != nil {
+		reg.SetGauge("etcd_backpressure", pressure)
+	}
+	return pressure
 }
 
 // stateMachine is the deterministic automaton each replica runs: a

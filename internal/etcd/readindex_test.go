@@ -25,17 +25,20 @@ func newModeStore(t *testing.T, n int, mode string) (*Store, *clock.Sim) {
 	return s, clk
 }
 
-// TestReadModeValidation: the three modes are accepted ("" selects the
-// default), anything else is rejected.
+// TestReadModeValidation: the four modes are accepted ("" selects the
+// default, leaseread), anything else is rejected.
 func TestReadModeValidation(t *testing.T) {
 	s, _ := newTestStore(t, 1)
-	if got := s.ReadMode(); got != ReadModeReadIndex {
-		t.Fatalf("default read mode = %q, want %q", got, ReadModeReadIndex)
+	if got := s.ReadMode(); got != ReadModeLease {
+		t.Fatalf("default read mode = %q, want %q", got, ReadModeLease)
 	}
-	for _, mode := range []string{ReadModeReadIndex, ReadModePropose, ReadModeSerializable, ""} {
+	for _, mode := range []string{ReadModeLease, ReadModeReadIndex, ReadModePropose, ReadModeSerializable, ""} {
 		if err := s.SetReadMode(mode); err != nil {
 			t.Fatalf("SetReadMode(%q) = %v", mode, err)
 		}
+	}
+	if got := s.ReadMode(); got != ReadModeLease {
+		t.Fatalf(`read mode after SetReadMode("") = %q, want %q`, got, ReadModeLease)
 	}
 	if err := s.SetReadMode("linearizable-ish"); err == nil {
 		t.Fatal("bogus read mode accepted")
@@ -45,7 +48,7 @@ func TestReadModeValidation(t *testing.T) {
 // TestReadModesAgree: identical workloads answer identically in every
 // mode once the cluster is quiescent — Get, Range and read-only Txn.
 func TestReadModesAgree(t *testing.T) {
-	for _, mode := range []string{ReadModeReadIndex, ReadModePropose, ReadModeSerializable} {
+	for _, mode := range []string{ReadModeLease, ReadModeReadIndex, ReadModePropose, ReadModeSerializable} {
 		t.Run(mode, func(t *testing.T) {
 			s, _ := newModeStore(t, 3, mode)
 			for i := 0; i < 6; i++ {
@@ -83,31 +86,36 @@ func TestReadModesAgree(t *testing.T) {
 }
 
 // TestReadIndexReadsCostNoProposals: the acceptance criterion's core
-// number — read-index Get/Range issue zero Raft proposals, propose-mode
-// reads one each.
+// number — read-index and leaseread Get/Range issue zero Raft
+// proposals, propose-mode reads one each.
 func TestReadIndexReadsCostNoProposals(t *testing.T) {
 	s, _ := newModeStore(t, 3, ReadModeReadIndex)
 	if _, err := s.Put("/p/k", "v"); err != nil {
 		t.Fatal(err)
 	}
 	const reads = 25
-	base := s.Proposals()
-	for i := 0; i < reads; i++ {
-		if _, _, err := s.Get("/p/k"); err != nil {
+	for _, mode := range []string{ReadModeReadIndex, ReadModeLease} {
+		if err := s.SetReadMode(mode); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Range("/p/"); err != nil {
-			t.Fatal(err)
+		base := s.Proposals()
+		for i := 0; i < reads; i++ {
+			if _, _, err := s.Get("/p/k"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Range("/p/"); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
-	if got := s.Proposals() - base; got != 0 {
-		t.Fatalf("read-index mode issued %d proposals for %d reads, want 0", got, 2*reads)
+		if got := s.Proposals() - base; got != 0 {
+			t.Fatalf("%s mode issued %d proposals for %d reads, want 0", mode, got, 2*reads)
+		}
 	}
 
 	if err := s.SetReadMode(ReadModePropose); err != nil {
 		t.Fatal(err)
 	}
-	base = s.Proposals()
+	base := s.Proposals()
 	for i := 0; i < reads; i++ {
 		if _, _, err := s.Get("/p/k"); err != nil {
 			t.Fatal(err)
@@ -123,9 +131,19 @@ func TestReadIndexReadsCostNoProposals(t *testing.T) {
 // isolated mid-storm; after every acknowledged write, a read must
 // return a value at least as new — never an older acknowledged state,
 // which is exactly what a deposed leader serving reads from its local
-// snapshot would produce.
+// snapshot (or a stale check-quorum lease outliving its bound) would
+// produce. Run in both linearizable modes: the lease fast path must
+// survive the same storm as dedicated rounds.
 func TestReadIndexLinearizableUnderLeaderPartition(t *testing.T) {
-	s, clk := newModeStore(t, 3, ReadModeReadIndex)
+	for _, mode := range []string{ReadModeReadIndex, ReadModeLease} {
+		t.Run(mode, func(t *testing.T) {
+			testLinearizableUnderLeaderPartition(t, mode)
+		})
+	}
+}
+
+func testLinearizableUnderLeaderPartition(t *testing.T, mode string) {
+	s, clk := newModeStore(t, 3, mode)
 
 	var acked int64 // highest value whose Put was acknowledged
 	partitioned := -1

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/metrics"
 )
 
@@ -19,6 +20,7 @@ type Cluster struct {
 	ids      []int
 	storages map[int]*MemoryStorage
 	nodes    map[int]*Node // nil entry = crashed
+	clks     map[int]*clock.Skewed
 	mtr      *metrics.Registry
 }
 
@@ -32,15 +34,28 @@ func NewCluster(n int, cfg Config) *Cluster {
 		trans:    NewTransport(cfg.Clock, time.Millisecond),
 		storages: make(map[int]*MemoryStorage, n),
 		nodes:    make(map[int]*Node, n),
+		clks:     make(map[int]*clock.Skewed, n),
 	}
 	for i := 0; i < n; i++ {
 		c.ids = append(c.ids, i)
 	}
 	for _, id := range c.ids {
+		// Each node reads time through its own skewable view of the
+		// shared clock (timers stay true — skew shifts readings, not
+		// rates), so clock-skew faults hit exactly one node's lease math.
+		c.clks[id] = clock.NewSkewed(cfg.Clock, 0)
 		c.storages[id] = NewMemoryStorage()
-		c.nodes[id] = startNode(id, c.ids, cfg, c.storages[id], c.trans)
+		c.nodes[id] = startNode(id, c.ids, c.nodeConfig(id), c.storages[id], c.trans)
 	}
 	return c
+}
+
+// nodeConfig is the cluster config specialized to one node: the shared
+// tunables plus the node's private skewable clock view.
+func (c *Cluster) nodeConfig(id int) Config {
+	cfg := c.cfg
+	cfg.Clock = c.clks[id]
+	return cfg
 }
 
 // Transport exposes the message fabric for partition injection.
@@ -112,12 +127,81 @@ func (c *Cluster) Restart(id int) *Node {
 	if !ok {
 		panic(fmt.Sprintf("raft: unknown node %d", id))
 	}
-	n := startNode(id, c.ids, c.cfg, st, c.trans)
+	// nodeConfig re-reads c.cfg, so runtime toggles (SetLeaseReads,
+	// SetReadCoalescing) and the node's clock skew survive the restart.
+	n := startNode(id, c.ids, c.nodeConfig(id), st, c.trans)
 	if c.mtr != nil {
 		n.setRegistry(c.mtr)
 	}
 	c.nodes[id] = n
 	return n
+}
+
+// SetClockSkew offsets node id's local clock readings by d (0 heals
+// it). Timers are unaffected — real skew shifts a clock's value, not
+// its rate — which is precisely what makes a stale lease deadline
+// dangerous and what the drift-bound defenses must catch.
+func (c *Cluster) SetClockSkew(id int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sk, ok := c.clks[id]; ok {
+		sk.SetOffset(d)
+	}
+}
+
+// ClockSkew reports node id's current clock offset.
+func (c *Cluster) ClockSkew(id int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sk, ok := c.clks[id]; ok {
+		return sk.Offset()
+	}
+	return 0
+}
+
+// SetLeaseReads toggles check-quorum lease reads cluster-wide,
+// including nodes booted by later Restarts.
+func (c *Cluster) SetLeaseReads(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.LeaseReads = on
+	for _, n := range c.nodes {
+		if n != nil {
+			n.SetLeaseReads(on)
+		}
+	}
+}
+
+// SetReadCoalescing toggles read-round coalescing cluster-wide,
+// including nodes booted by later Restarts.
+func (c *Cluster) SetReadCoalescing(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.CoalesceReads = on
+	for _, n := range c.nodes {
+		if n != nil {
+			n.SetReadCoalescing(on)
+		}
+	}
+}
+
+// ReadStats sums the read-path counters of every live node. Crashed
+// nodes' counters reset on restart, like ReplicationStats.
+func (c *Cluster) ReadStats() ReadStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out ReadStats
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		rs := n.ReadStats()
+		out.Rounds += rs.Rounds
+		out.RoundReads += rs.RoundReads
+		out.LeaseReads += rs.LeaseReads
+		out.LeaseExpiries += rs.LeaseExpiries
+	}
+	return out
 }
 
 // Leader returns the current leader node, or nil if none is known.

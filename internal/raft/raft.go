@@ -15,6 +15,16 @@
 // Lagging followers catch up through streamed snapshot chunks rather than
 // one monolithic installSnapshot message. Config.MaxInflightEntries <= 1
 // restores the stop-and-wait behavior as an A/B escape hatch.
+//
+// The linearizable read path is quorum-amortized: concurrent ReadIndex
+// calls coalesce onto shared leadership-confirmation rounds (group
+// commit for reads), and each quorum-confirmed heartbeat round extends a
+// check-quorum lease of ElectionTimeoutMin - MaxClockDrift during which
+// reads are answered from the commit index with zero messages. The
+// lease dies on step-down and on observed node-clock skew beyond the
+// drift bound; Config.LeaseReads / Config.CoalesceReads (and the
+// matching runtime setters) restore the one-round-per-read PR 5
+// behavior as the A/B escape hatch.
 package raft
 
 import (
@@ -117,6 +127,29 @@ type Config struct {
 	// follower catches up through a stream of offset-addressed chunks
 	// instead of one monolithic message. <= 0 ships the snapshot whole.
 	SnapChunkSize int
+
+	// LeaseReads enables check-quorum leader leases: every heartbeat
+	// round a quorum confirms extends a lease of
+	// ElectionTimeoutMin - MaxClockDrift from the round's start, and
+	// while the lease is live ReadIndex answers from the commit index
+	// with zero messages. Togglable at runtime via SetLeaseReads.
+	LeaseReads bool
+	// CoalesceReads makes concurrent ReadIndex calls share leadership
+	// confirmation rounds: while one round is in flight, later reads
+	// queue for the next round, which fires when the current one
+	// completes — one heartbeat round resolves N reads, exactly like
+	// group commit on the write path. Togglable via SetReadCoalescing.
+	CoalesceReads bool
+	// MaxClockDrift bounds how far apart any two node clocks are assumed
+	// to read. It is the lease-read safety margin, enforced three ways:
+	// the lease duration is shortened by it, an append ack whose echoed
+	// clock reading deviates from the leader's by more than it kills the
+	// lease (and blocks re-arming off that follower), and a lease whose
+	// local clock has stepped behind the grant instant is refused. A
+	// negative value removes ALL three defenses — UNSAFE: a clock step
+	// can then leave a deposed leader serving stale lease reads. It
+	// exists only so tests can demonstrate the bound is load-bearing.
+	MaxClockDrift time.Duration
 }
 
 // DefaultConfig mirrors etcd's stock timing (scaled for the simulation)
@@ -132,6 +165,9 @@ func DefaultConfig(clk clock.Clock) Config {
 		MaxInflightBytes:   1 << 20,
 		MaxAppendEntries:   64,
 		SnapChunkSize:      32 << 10,
+		LeaseReads:         true,
+		CoalesceReads:      true,
+		MaxClockDrift:      20 * time.Millisecond,
 	}
 }
 
@@ -148,6 +184,23 @@ type ReplicationStats struct {
 	// SnapChunksSent/SnapBytesSent count streamed snapshot chunks.
 	SnapChunksSent uint64
 	SnapBytesSent  uint64
+}
+
+// ReadStats are cumulative per-node read-path counters, the
+// observability surface of the quorum-amortized read path.
+type ReadStats struct {
+	// Rounds counts leadership-confirmation heartbeat rounds launched
+	// for reads; RoundReads the reads those rounds resolved.
+	// RoundReads/Rounds is the coalescing ratio, Rounds/total reads the
+	// amortized quorum cost per read.
+	Rounds     uint64
+	RoundReads uint64
+	// LeaseReads counts reads answered from a live check-quorum lease
+	// with zero messages.
+	LeaseReads uint64
+	// LeaseExpiries counts lease invalidations (step-down, term change,
+	// clock skew beyond the drift bound, runtime disable).
+	LeaseExpiries uint64
 }
 
 // Node is a single Raft participant.
@@ -192,6 +245,23 @@ type Node struct {
 	readSeq      uint64
 	readWaiters  map[uint64]chan readIndexResult
 
+	// Check-quorum lease state (leader only). The lease is valid for
+	// local clock readings in [leaseFrom, leaseUntil) during leaseTerm.
+	// roundStart timestamps each heartbeat round at broadcast; ackSeq is
+	// the highest round each follower has acked; skewBad marks followers
+	// whose last ack's clock echo exceeded MaxClockDrift (their acks
+	// cannot extend the lease until a clean echo clears them);
+	// lastLeaseRound is the newest round that extended the lease.
+	leaseFrom      time.Time
+	leaseUntil     time.Time
+	leaseTerm      uint64
+	lastLeaseRound uint64
+	roundStart     map[uint64]time.Time
+	ackSeq         map[int]uint64
+	skewBad        map[int]bool
+	leaseOn        atomic.Bool
+	coalesceOn     atomic.Bool
+
 	rng           *rand.Rand
 	electionTimer clock.Timer
 	heartbeatTick clock.Ticker
@@ -210,8 +280,15 @@ type Node struct {
 	statRejects    atomic.Uint64
 	statSnapChunks atomic.Uint64
 	statSnapBytes  atomic.Uint64
-	mtr            atomic.Pointer[metrics.Registry]
-	mtrLabel       string
+
+	// Read-path counters (see ReadStats).
+	statReadRounds    atomic.Uint64
+	statRoundReads    atomic.Uint64
+	statLeaseReads    atomic.Uint64
+	statLeaseExpiries atomic.Uint64
+
+	mtr      atomic.Pointer[metrics.Registry]
+	mtrLabel string
 
 	applyCh chan Apply
 	inbox   chan envelope
@@ -256,6 +333,11 @@ type (
 		ConflictIndex uint64
 		// Seq echoes appendEntries.Seq (0 for snapshot-install acks).
 		Seq uint64
+		// LocalTime is the responder's clock reading when it acked. The
+		// leader compares it against its own reading: a deviation beyond
+		// MaxClockDrift means one of the two clocks stepped, so the
+		// check-quorum lease is killed rather than trusted.
+		LocalTime time.Time
 	}
 	// readIndexReq forwards a follower's ReadIndex call to the leader.
 	readIndexReq struct {
@@ -328,11 +410,17 @@ type remoteRead struct {
 // pendingRead is one leadership-confirmation round: the read completes
 // with the leader's commit index once a quorum has acked a heartbeat
 // round >= seq and the commit index has reached the leader's own term.
+// With coalescing, at most one round is started (broadcast) at a time;
+// a second, unstarted round accumulates reads that arrived too late to
+// join it — an ack may predate a late joiner's registration, so joining
+// an in-flight round would hand out a commit index recorded before the
+// leadership it proves — and launches when the started round resolves.
 type pendingRead struct {
-	seq    uint64
-	acks   map[int]bool
-	local  []chan readIndexResult
-	remote []remoteRead
+	seq     uint64
+	started bool
+	acks    map[int]bool
+	local   []chan readIndexResult
+	remote  []remoteRead
 }
 
 // startNode boots a node from its persisted storage and begins its run
@@ -351,6 +439,9 @@ func startNode(id int, peers []int, cfg Config, store *MemoryStorage, trans *Tra
 		matchIndex:  make(map[int]uint64),
 		snapXfers:   make(map[int]*snapXfer),
 		readWaiters: make(map[uint64]chan readIndexResult),
+		roundStart:  make(map[uint64]time.Time),
+		ackSeq:      make(map[int]uint64),
+		skewBad:     make(map[int]bool),
 		rng:         rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
 		applyCh:     make(chan Apply, 256),
 		applyKick:   make(chan struct{}, 1),
@@ -360,6 +451,8 @@ func startNode(id int, peers []int, cfg Config, store *MemoryStorage, trans *Tra
 		done:        make(chan struct{}),
 		mtrLabel:    fmt.Sprintf("node%d", id),
 	}
+	n.leaseOn.Store(cfg.LeaseReads)
+	n.coalesceOn.Store(cfg.CoalesceReads)
 	// Recover persisted state. Entries at or below the snapshot index
 	// were compacted away; applying resumes after the snapshot.
 	ps := store.Load()
@@ -433,6 +526,56 @@ func (n *Node) ReplicationStats() ReplicationStats {
 	}
 }
 
+// ReadStats returns the node's cumulative read-path counters.
+func (n *Node) ReadStats() ReadStats {
+	return ReadStats{
+		Rounds:        n.statReadRounds.Load(),
+		RoundReads:    n.statRoundReads.Load(),
+		LeaseReads:    n.statLeaseReads.Load(),
+		LeaseExpiries: n.statLeaseExpiries.Load(),
+	}
+}
+
+// MaxInflight reports the deepest unacknowledged pipeline window across
+// followers and the window's configured entry cap — the raft half of
+// the etcd facade's Backpressure signal. Non-leaders report zero depth.
+func (n *Node) MaxInflight() (entries uint64, limit int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	limit = n.cfg.MaxInflightEntries
+	if n.state != Leader {
+		return 0, limit
+	}
+	for _, p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		if e, _ := n.inflightLocked(p); e > entries {
+			entries = e
+		}
+	}
+	return entries, limit
+}
+
+// SetLeaseReads toggles the check-quorum lease at runtime (the etcd
+// layer flips it with the read mode). Disabling kills any live lease
+// immediately, so the very next read pays a full confirmation round.
+func (n *Node) SetLeaseReads(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.leaseOn.Store(on)
+	if !on {
+		n.invalidateLeaseLocked()
+	}
+}
+
+// SetReadCoalescing toggles read-round coalescing at runtime. Turning
+// it off restores the PR 5 one-round-per-read behavior (the A/B
+// baseline); an already-queued coalesced round still completes.
+func (n *Node) SetReadCoalescing(on bool) {
+	n.coalesceOn.Store(on)
+}
+
 // setRegistry mirrors the node's replication counters into reg.
 func (n *Node) setRegistry(reg *metrics.Registry) { n.mtr.Store(reg) }
 
@@ -442,12 +585,16 @@ func (n *Node) setRegistry(reg *metrics.Registry) { n.mtr.Store(reg) }
 // machine to apply through I and then reads locally gets a linearizable
 // read with zero log entries.
 //
-// On the leader, the call records the commit index, confirms leadership
-// with a round of heartbeat acks from a quorum (so a deposed leader in a
-// stale term can never serve a stale index), and returns it; a leader
-// that has not yet committed an entry in its own term first commits a
-// no-op barrier, because its commit index may lag writes acknowledged by
-// its predecessor. Followers forward to the leader they believe in.
+// On the leader, the call first tries the check-quorum lease — a live
+// lease answers from the commit index with zero messages. Otherwise it
+// records the commit index, confirms leadership with a round of
+// heartbeat acks from a quorum (so a deposed leader in a stale term can
+// never serve a stale index), and returns it; with coalescing enabled,
+// concurrent calls share confirmation rounds instead of launching their
+// own. A leader that has not yet committed an entry in its own term
+// first commits a no-op barrier, because its commit index may lag
+// writes acknowledged by its predecessor. Followers forward to the
+// leader they believe in.
 //
 // It fails with ErrNoLeader when there is no leader to ask, ErrNotLeader
 // when leadership was lost mid-round, and ErrReadTimeout when no quorum
@@ -465,6 +612,10 @@ func (n *Node) ReadIndex(timeout time.Duration) (uint64, error) {
 		return 0, ErrStopped
 	}
 	if n.state == Leader {
+		if idx, ok := n.leaseReadLocked(); ok {
+			n.mu.Unlock()
+			return idx, nil
+		}
 		n.startReadLocked(ch, nil)
 	} else {
 		leader := n.leaderID
@@ -502,8 +653,8 @@ func (n *Node) ReadIndex(timeout time.Duration) (uint64, error) {
 	}
 }
 
-// startReadLocked registers one read-index round on the leader and
-// kicks off the heartbeat broadcast whose acks confirm it.
+// startReadLocked registers one read on the leader: either joining a
+// coalesced confirmation round or launching its own.
 func (n *Node) startReadLocked(local chan readIndexResult, remote *remoteRead) {
 	// A freshly elected leader may not know its predecessor's full commit
 	// index (§5.4.2 only advances commitment for current-term entries), so
@@ -516,7 +667,26 @@ func (n *Node) startReadLocked(local chan readIndexResult, remote *remoteRead) {
 		n.persistLocked()
 		n.matchIndex[n.id] = e.Index
 	}
-	pr := &pendingRead{seq: n.hbSeq + 1, acks: make(map[int]bool)}
+	if n.coalesceOn.Load() && len(n.pendingReads) > 0 {
+		// Coalesce: the newest pending round is either still unlaunched
+		// (join it) or already broadcast — its acks may predate this
+		// call, so a late joiner queues for the NEXT round instead,
+		// which fires when the in-flight one resolves. Batching emerges
+		// from concurrency, exactly like group commit on writes.
+		last := n.pendingReads[len(n.pendingReads)-1]
+		if last.started {
+			last = &pendingRead{acks: make(map[int]bool)}
+			n.pendingReads = append(n.pendingReads, last)
+		}
+		if local != nil {
+			last.local = append(last.local, local)
+		}
+		if remote != nil {
+			last.remote = append(last.remote, *remote)
+		}
+		return
+	}
+	pr := &pendingRead{acks: make(map[int]bool)}
 	if local != nil {
 		pr.local = append(pr.local, local)
 	}
@@ -524,30 +694,70 @@ func (n *Node) startReadLocked(local chan readIndexResult, remote *remoteRead) {
 		pr.remote = append(pr.remote, *remote)
 	}
 	n.pendingReads = append(n.pendingReads, pr)
-	n.broadcastAppendLocked()
+	n.launchReadRoundLocked(pr)
 	// A single-node cluster is its own quorum.
 	n.maybeCompleteReadsLocked()
 }
 
-// maybeCompleteReadsLocked resolves every pending read whose quorum has
-// acked, provided the commit index has reached the leader's own term.
+// launchReadRoundLocked broadcasts the heartbeat round whose acks will
+// confirm pr's leadership.
+func (n *Node) launchReadRoundLocked(pr *pendingRead) {
+	pr.seq = n.hbSeq + 1
+	pr.started = true
+	n.statReadRounds.Add(1)
+	if reg := n.mtr.Load(); reg != nil {
+		reg.Inc("raft_readindex_rounds", n.mtrLabel)
+	}
+	n.broadcastAppendLocked()
+}
+
+// maybeCompleteReadsLocked resolves every launched round whose quorum
+// has acked, provided the commit index has reached the leader's own
+// term, then launches the queued coalesced round (if any). The outer
+// loop re-runs the completion pass for single-node clusters, where the
+// freshly launched round is its own quorum.
 func (n *Node) maybeCompleteReadsLocked() {
-	if n.state != Leader || len(n.pendingReads) == 0 {
+	if n.state != Leader {
 		return
 	}
 	if n.termAtLocked(n.commitIndex) != n.currentTerm {
 		return
 	}
 	quorum := len(n.peers)/2 + 1
-	keep := n.pendingReads[:0]
-	for _, pr := range n.pendingReads {
-		if len(pr.acks)+1 >= quorum { // +1: the leader itself
-			n.completeReadLocked(pr, n.commitIndex, nil)
-		} else {
-			keep = append(keep, pr)
+	for len(n.pendingReads) > 0 {
+		completed := false
+		keep := n.pendingReads[:0]
+		for _, pr := range n.pendingReads {
+			if pr.started && len(pr.acks)+1 >= quorum { // +1: the leader itself
+				n.statRoundReads.Add(uint64(len(pr.local) + len(pr.remote)))
+				n.completeReadLocked(pr, n.commitIndex, nil)
+				completed = true
+			} else {
+				keep = append(keep, pr)
+			}
+		}
+		n.pendingReads = keep
+		if !completed {
+			return
+		}
+		if reg := n.mtr.Load(); reg != nil {
+			if rounds := n.statReadRounds.Load(); rounds > 0 {
+				reg.SetGauge("raft_reads_per_round",
+					float64(n.statRoundReads.Load())/float64(rounds), n.mtrLabel)
+			}
+		}
+		launched := false
+		for _, pr := range n.pendingReads {
+			if !pr.started {
+				n.launchReadRoundLocked(pr)
+				launched = true
+				break
+			}
+		}
+		if !launched || quorum > 1 {
+			return
 		}
 	}
-	n.pendingReads = keep
 }
 
 // completeReadLocked delivers a read-index round's outcome to its local
@@ -573,11 +783,178 @@ func (n *Node) failPendingReadsLocked() {
 	n.pendingReads = nil
 }
 
+// leaseReadLocked answers a read from the check-quorum lease: while a
+// quorum round confirmed leadership less than
+// ElectionTimeoutMin - MaxClockDrift ago (on the local clock), no other
+// node can have won an election — followers reset their election timers
+// on that round's append — so the commit index is served with zero
+// messages. The barrier precondition matches the round path: a fresh
+// leader whose commit index hasn't reached its own term may understate
+// acknowledged writes and must not answer from a lease.
+func (n *Node) leaseReadLocked() (uint64, bool) {
+	if !n.leaseOn.Load() || n.leaseUntil.IsZero() || n.leaseTerm != n.currentTerm {
+		return 0, false
+	}
+	if n.termAtLocked(n.commitIndex) != n.currentTerm {
+		return 0, false
+	}
+	now := n.cfg.Clock.Now()
+	if n.cfg.MaxClockDrift >= 0 && now.Before(n.leaseFrom) {
+		// The local clock reads earlier than the lease grant: it stepped
+		// backward, so the deadline lives in a dead timebase and could
+		// overstate validity by the step size. Kill the lease.
+		n.invalidateLeaseLocked()
+		return 0, false
+	}
+	if !now.Before(n.leaseUntil) {
+		return 0, false // expired; the next clean quorum round re-arms it
+	}
+	n.statLeaseReads.Add(1)
+	if reg := n.mtr.Load(); reg != nil {
+		reg.Inc("raft_lease_reads", n.mtrLabel)
+	}
+	return n.commitIndex, true
+}
+
+// leaseDuration is how long past a confirmed round's start the leader
+// may serve lease reads; <= 0 means leases can never arm (e.g. a drift
+// bound as large as the election timeout).
+func (n *Node) leaseDuration() time.Duration {
+	drift := n.cfg.MaxClockDrift
+	if drift < 0 {
+		drift = 0 // unsafe mode: no slack, no detection
+	}
+	return n.cfg.ElectionTimeoutMin - drift
+}
+
+// invalidateLeaseLocked kills a live lease (step-down, clock trouble,
+// runtime disable); reads fall back to full confirmation rounds until a
+// clean quorum round re-arms it.
+func (n *Node) invalidateLeaseLocked() {
+	if n.leaseUntil.IsZero() {
+		return
+	}
+	n.leaseFrom = time.Time{}
+	n.leaseUntil = time.Time{}
+	n.statLeaseExpiries.Add(1)
+	if reg := n.mtr.Load(); reg != nil {
+		reg.Inc("raft_lease_expiries", n.mtrLabel)
+	}
+}
+
+// observeAckLocked folds one same-term append ack into the lease:
+// record the round the follower confirmed, check its clock echo against
+// the drift bound, and extend — or kill — the lease accordingly.
+func (n *Node) observeAckLocked(from int, msg appendEntriesResp) {
+	if !n.leaseOn.Load() || n.leaseDuration() <= 0 {
+		return
+	}
+	if msg.Seq > n.ackSeq[from] {
+		n.ackSeq[from] = msg.Seq
+	}
+	if n.cfg.MaxClockDrift >= 0 {
+		skew := n.cfg.Clock.Now().Sub(msg.LocalTime)
+		if skew < 0 {
+			skew = -skew
+		}
+		// The estimate includes one message latency, so the effective
+		// tolerance is MaxClockDrift minus the network delay — a
+		// conservative error: false positives only drop the lease.
+		bad := skew > n.cfg.MaxClockDrift
+		n.skewBad[from] = bad
+		if bad {
+			n.invalidateLeaseLocked()
+			return
+		}
+	}
+	n.maybeExtendLeaseLocked()
+}
+
+// maybeExtendLeaseLocked arms the lease through
+// leaseDuration past the start of the newest heartbeat round confirmed
+// by a quorum of clean-clocked followers (the leader is the quorum's
+// +1). The window is overwritten, not maxed: after a backward clock
+// step, newer rounds carry earlier local timestamps, and keeping the
+// pre-step deadline would overstate validity by the step size.
+func (n *Node) maybeExtendLeaseLocked() {
+	dur := n.leaseDuration()
+	if dur <= 0 {
+		return
+	}
+	need := len(n.peers) / 2 // follower acks needed for a quorum
+	var q uint64
+	if need == 0 {
+		q = n.hbSeq // single node: every broadcast self-confirms
+	} else {
+		seqs := make([]uint64, 0, len(n.peers)-1)
+		for _, p := range n.peers {
+			if p == n.id {
+				continue
+			}
+			if n.skewBad[p] {
+				seqs = append(seqs, 0)
+				continue
+			}
+			seqs = append(seqs, n.ackSeq[p])
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+		q = seqs[need-1]
+	}
+	if q == 0 || q <= n.lastLeaseRound {
+		return
+	}
+	start, ok := n.roundStart[q]
+	if !ok {
+		return // round pruned: too old for its confirmation to matter
+	}
+	n.lastLeaseRound = q
+	n.leaseTerm = n.currentTerm
+	n.leaseFrom = start
+	n.leaseUntil = start.Add(dur)
+	for seq := range n.roundStart {
+		if seq <= q {
+			delete(n.roundStart, seq)
+		}
+	}
+}
+
+// recordRoundLocked timestamps a heartbeat round at broadcast for lease
+// extension and prunes rounds too old to still extend anything.
+func (n *Node) recordRoundLocked() {
+	now := n.cfg.Clock.Now()
+	n.roundStart[n.hbSeq] = now
+	horizon := now.Add(-n.cfg.ElectionTimeoutMin)
+	for seq, t := range n.roundStart {
+		if t.Before(horizon) {
+			delete(n.roundStart, seq)
+		}
+	}
+	if len(n.peers) == 1 {
+		n.maybeExtendLeaseLocked()
+	}
+}
+
+// resetLeaseStateLocked drops all lease bookkeeping (entering or
+// leaving leadership); it does not count an expiry by itself.
+func (n *Node) resetLeaseStateLocked() {
+	n.leaseFrom = time.Time{}
+	n.leaseUntil = time.Time{}
+	n.lastLeaseRound = 0
+	n.roundStart = make(map[uint64]time.Time)
+	n.ackSeq = make(map[int]uint64)
+	n.skewBad = make(map[int]bool)
+}
+
 func (n *Node) handleReadIndexReq(from int, msg readIndexReq) {
 	n.mu.Lock()
 	if n.state != Leader {
 		n.mu.Unlock()
 		n.trans.send(n.id, from, readIndexResp{ID: msg.ID, OK: false})
+		return
+	}
+	if idx, ok := n.leaseReadLocked(); ok {
+		n.mu.Unlock()
+		n.trans.send(n.id, from, readIndexResp{ID: msg.ID, Index: idx, OK: true})
 		return
 	}
 	n.startReadLocked(nil, &remoteRead{node: from, id: msg.ID})
@@ -953,6 +1330,7 @@ func (n *Node) maybeBecomeLeaderLocked() {
 	n.matchIndex[n.id] = n.lastIndexLocked()
 	n.snapXfers = make(map[int]*snapXfer)
 	n.pendingSnap = nil
+	n.resetLeaseStateLocked()
 	if n.heartbeatTick != nil {
 		n.heartbeatTick.Stop()
 	}
@@ -977,6 +1355,8 @@ func (n *Node) becomeFollowerLocked(term uint64, leader int) {
 	}
 	if wasLeader {
 		n.failPendingReadsLocked()
+		n.invalidateLeaseLocked()
+		n.resetLeaseStateLocked()
 		n.snapXfers = make(map[int]*snapXfer)
 	}
 	n.resetElectionTimerLocked()
@@ -1015,7 +1395,7 @@ func (n *Node) handleAppendEntries(from int, msg appendEntries) {
 		// A consistency failure still acknowledges the sender's
 		// leadership for this term, so it echoes Seq and counts toward
 		// read-index quorums.
-		resp := appendEntriesResp{Term: n.currentTerm, Success: false, ConflictIndex: conflict, Seq: msg.Seq}
+		resp := appendEntriesResp{Term: n.currentTerm, Success: false, ConflictIndex: conflict, Seq: msg.Seq, LocalTime: n.cfg.Clock.Now()}
 		n.mu.Unlock()
 		n.trans.send(n.id, from, resp)
 		return
@@ -1047,7 +1427,7 @@ func (n *Node) handleAppendEntries(from int, msg appendEntries) {
 		}
 	}
 	match := msg.PrevLogIndex + uint64(len(msg.Entries))
-	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match, Seq: msg.Seq}
+	resp := appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match, Seq: msg.Seq, LocalTime: n.cfg.Clock.Now()}
 	n.enqueueAppliesLocked(n.takeAppliesLocked())
 	n.mu.Unlock()
 	n.trans.send(n.id, from, resp)
@@ -1066,13 +1446,15 @@ func (n *Node) handleAppendEntriesResp(from int, msg appendEntriesResp) {
 	}
 	// Any same-term response — success or log-consistency failure — is a
 	// leadership ack for the heartbeat round it echoes; credit it to the
-	// read-index rounds registered at or before that round.
-	if msg.Seq > 0 && len(n.pendingReads) > 0 {
+	// launched read rounds registered at or before that round, and fold
+	// it into the check-quorum lease (extension, or skew invalidation).
+	if msg.Seq > 0 {
 		for _, pr := range n.pendingReads {
-			if msg.Seq >= pr.seq {
+			if pr.started && msg.Seq >= pr.seq {
 				pr.acks[from] = true
 			}
 		}
+		n.observeAckLocked(from, msg)
 		n.maybeCompleteReadsLocked()
 	}
 	if msg.Success {
@@ -1137,6 +1519,9 @@ func (n *Node) advanceCommitLocked() {
 
 func (n *Node) broadcastAppendLocked() {
 	n.hbSeq++ // new heartbeat round: later acks confirm leadership now
+	if n.leaseOn.Load() && n.leaseDuration() > 0 {
+		n.recordRoundLocked()
+	}
 	for _, p := range n.peers {
 		if p != n.id {
 			n.sendAppendLocked(p)

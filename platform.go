@@ -76,12 +76,16 @@ type Options struct {
 	ImmediateEviction bool
 
 	// ReadMode selects how etcd Get/Range (and read-only Txn) are
-	// served: "readindex" (the default) answers from a local MVCC
-	// snapshot after a leader read-index round — linearizable, zero log
-	// entries per read; "propose" sequences every read through the Raft
-	// log (the pre-read-index behavior, kept for A/B comparison — see
-	// BenchmarkEtcdReads); "serializable" reads any live replica's local
-	// state with bounded staleness and no quorum requirement.
+	// served: "leaseread" (the default) answers linearizably at
+	// amortized quorum cost — check-quorum leases make reads free while
+	// the leader's lease is live, and coalesced confirmation rounds
+	// resolve every concurrent read at once when it is not;
+	// "readindex" pays one dedicated leader heartbeat round per read
+	// (the pre-lease behavior, kept for A/B comparison — see
+	// BenchmarkEtcdReads); "propose" sequences every read through the
+	// Raft log (the pre-read-index behavior, same A/B role);
+	// "serializable" reads any live replica's local state with bounded
+	// staleness and no quorum requirement.
 	ReadMode string
 
 	// WriteMode selects how etcd writes reach the Raft log: "batch" (the

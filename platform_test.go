@@ -1058,10 +1058,10 @@ func TestReadModeOptionThreadsThrough(t *testing.T) {
 		t.Fatalf("job did not complete in propose read mode: %v", err)
 	}
 
-	// The default platform runs read-index; its reads must not grow the
+	// The default platform runs lease reads; its reads must not grow the
 	// Raft log the way propose-mode reads do.
-	if got := newTestPlatform(t, Options{}).Etcd().ReadMode(); got != "readindex" {
-		t.Fatalf("default read mode = %q, want readindex", got)
+	if got := newTestPlatform(t, Options{}).Etcd().ReadMode(); got != "leaseread" {
+		t.Fatalf("default read mode = %q, want leaseread", got)
 	}
 }
 
