@@ -618,7 +618,7 @@ func BenchmarkMetadataStore(b *testing.B) {
 					for pb.Next() {
 						i := int(opSeq.Add(1))
 						j := i % jobs
-						start := time.Now()
+						start := time.Now() //lint:allow wallclock benchmark measures real wall latency, not virtual time
 						if i%8 == 0 {
 							if _, _, err := eng.Scan(tenantPrefix(j)); err != nil {
 								b.Error(err)
@@ -636,7 +636,7 @@ func BenchmarkMetadataStore(b *testing.B) {
 							}
 						}
 						if len(local) < cap(local) {
-							local = append(local, time.Since(start))
+							local = append(local, time.Since(start)) //lint:allow wallclock benchmark measures real wall latency, not virtual time
 						}
 					}
 					latMu.Lock()

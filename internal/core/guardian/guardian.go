@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -778,10 +779,14 @@ func monitorByWatch(ctx *kube.ContainerCtx, p Params) int {
 		// Act on the current aggregate before sleeping: the view may
 		// already be terminal (restored from the journal, or settled by
 		// the events just folded).
+		// Learner order must be stable: settle's aggregation walks the
+		// view in order, and a map-ordered walk would let two replays
+		// of one schedule announce different detail lines.
 		view := make([]types.StatusUpdate, 0, len(statuses))
 		for _, u := range statuses {
 			view = append(view, u)
 		}
+		sort.Slice(view, func(i, j int) bool { return view[i].Learner < view[j].Learner })
 		if code, done := settle(p, view, &announced); done {
 			return code
 		}

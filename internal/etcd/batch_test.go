@@ -157,9 +157,10 @@ func TestBatchIntraRoundReadYourWrites(t *testing.T) {
 		defer wg.Done()
 		// Retry until the put's effect is visible: if both land in one
 		// batch the overlay serves it; if not, the engine does.
-		deadline := time.Now().Add(5 * time.Second)
+		deadline := time.Now().Add(5 * time.Second) //lint:allow wallclock real-time watchdog bounding a spin-retry, virtual clock advances elsewhere
 		for {
 			casErr = s.CompareAndSwap("/ryw/key", "base", true, "swapped")
+			//lint:allow wallclock real-time watchdog bounding a spin-retry, virtual clock advances elsewhere
 			if casErr == nil || !errors.Is(casErr, ErrCASFailed) || time.Now().After(deadline) {
 				return
 			}

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -1539,8 +1540,17 @@ func (m *stateMachine) restore(raw []byte, snapIndex uint64) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	kvs := make([]store.KV, 0, len(img.Data))
-	for k, kv := range img.Data {
+	// Import in sorted key order: every replica restoring this image
+	// must install identical shard logs, and map order would let two
+	// restores of one snapshot diverge.
+	keys := make([]string, 0, len(img.Data))
+	for k := range img.Data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kvs := make([]store.KV, 0, len(keys))
+	for _, k := range keys {
+		kv := img.Data[k]
 		kvs = append(kvs, store.KV{Key: k, Value: kv.Value, Rev: kv.Rev})
 	}
 	eng := store.NewEngine(store.Config{Shards: m.eng.Shards(), ExternalRevs: true})

@@ -3,6 +3,7 @@ package etcd
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -122,6 +123,9 @@ func (l *Lease) expire(force bool) {
 	for k := range l.keys {
 		keys = append(keys, k)
 	}
+	// Deterministic delete order: each Delete is its own revision, so
+	// the watch-visible event sequence must not depend on map order.
+	sort.Strings(keys)
 	l.mu.Unlock()
 
 	for _, k := range keys {

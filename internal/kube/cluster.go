@@ -224,6 +224,7 @@ func (c *Cluster) Stop() {
 	for _, p := range c.pods {
 		pods = append(pods, p)
 	}
+	sortPodsByName(pods)
 	watchers := c.watchers
 	c.watchers = nil
 	c.mu.Unlock()
@@ -437,6 +438,7 @@ func (c *Cluster) CrashNode(name string) error {
 			victims = append(victims, p)
 		}
 	}
+	sortPodsByName(victims)
 	c.mu.Unlock()
 
 	n.mu.Lock()
@@ -534,6 +536,7 @@ func (c *Cluster) DrainNode(name string) error {
 			victims = append(victims, p)
 		}
 	}
+	sortPodsByName(victims)
 	c.mu.Unlock()
 	for _, p := range victims {
 		p.kill(killDelete)
@@ -552,6 +555,14 @@ func (c *Cluster) Nodes() []*Node {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
+}
+
+// sortPodsByName orders a pod list by name. Pod sets are collected out
+// of maps all over the cluster and controllers; every consumer that
+// acts on the set (kill, evict, deploy) must see one stable order or
+// replayed schedules diverge on map iteration order.
+func sortPodsByName(pods []*Pod) {
+	sort.Slice(pods, func(i, j int) bool { return pods[i].Name() < pods[j].Name() })
 }
 
 // schedule reserves capacity for spec on a node. Gang member pods bind

@@ -85,14 +85,20 @@ func (d *Deployment) PodNames() []string {
 func (d *Deployment) Scale(n int) error {
 	d.mu.Lock()
 	d.replicas = n
+	// Scale-down victims are chosen by name, not map order: an
+	// arbitrary pick would make two replays of one schedule kill
+	// different replicas.
 	var excess []*Pod
-	remove := len(d.pods) - n
-	for name, p := range d.pods {
-		if len(excess) >= remove {
-			break
+	if remove := len(d.pods) - n; remove > 0 {
+		names := make([]string, 0, len(d.pods))
+		for name := range d.pods {
+			names = append(names, name)
 		}
-		excess = append(excess, p)
-		delete(d.pods, name)
+		sortStrings(names)
+		for _, name := range names[len(names)-remove:] {
+			excess = append(excess, d.pods[name])
+			delete(d.pods, name)
+		}
 	}
 	d.mu.Unlock()
 	for _, p := range excess {
@@ -119,6 +125,7 @@ func (d *Deployment) Delete() {
 	for _, p := range d.pods {
 		pods = append(pods, p)
 	}
+	sortPodsByName(pods)
 	d.pods = map[string]*Pod{}
 	d.mu.Unlock()
 	for _, p := range pods {
@@ -232,6 +239,7 @@ func (s *StatefulSet) Delete() {
 	for _, p := range s.pods {
 		pods = append(pods, p)
 	}
+	sortPodsByName(pods)
 	s.pods = map[int]*Pod{}
 	s.mu.Unlock()
 	for _, p := range pods {
@@ -477,6 +485,7 @@ func (c *Cluster) CanConnect(fromPod, toPod string) bool {
 	for _, p := range c.policies {
 		policies = append(policies, p)
 	}
+	sortPolicies(policies)
 	c.mu.Unlock()
 	if from == nil || to == nil {
 		return false
@@ -500,6 +509,16 @@ func sortStrings(s []string) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
 			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// sortPolicies orders policies by name so connection checks evaluate
+// them in one stable order regardless of map iteration.
+func sortPolicies(ps []*NetworkPolicy) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Name < ps[j-1].Name; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
 		}
 	}
 }

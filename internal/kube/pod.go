@@ -3,6 +3,7 @@ package kube
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -351,10 +352,13 @@ func (p *Pod) runProcess(cs *containerState, procKill chan struct{}, incarnation
 		return code
 	case <-procKill:
 		// Give the process a chance to observe the kill and return;
-		// regardless, the container reports SIGKILL.
+		// regardless, the container reports SIGKILL. A scheduler yield
+		// plus a non-blocking poll stands in for the old time.After(0),
+		// which smuggled a real-clock timer into the simulation.
+		runtime.Gosched()
 		select {
 		case <-done:
-		case <-time.After(0):
+		default:
 		}
 		return exitKilled
 	}

@@ -1,0 +1,39 @@
+package kube
+
+// Regression: scale-down victim selection is by name (highest suffixes
+// die), never by map iteration order — an arbitrary pick would make
+// two replays of one chaos schedule kill different replicas.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestScaleDownVictimsDeterministic(t *testing.T) {
+	c, clk := newTestCluster(t)
+	tmpl := PodSpec{
+		Labels:        map[string]string{"app": "web"},
+		RestartPolicy: RestartAlways,
+		Containers:    []ContainerSpec{{Name: "srv", StartDelay: 50 * time.Millisecond}},
+	}
+	d, err := c.CreateDeployment("web", 5, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReplicas(t, c, clk, "web", 5, 30*time.Second)
+
+	before := d.PodNames()
+	if len(before) != 5 {
+		t.Fatalf("replicas = %v, want 5", before)
+	}
+	if err := d.Scale(2); err != nil {
+		t.Fatal(err)
+	}
+	after := d.PodNames()
+	// The two lowest-named replicas survive; the three highest die.
+	want := before[:2]
+	if !reflect.DeepEqual(after, want) {
+		t.Fatalf("survivors = %v, want lowest-named %v (before scale: %v)", after, want, before)
+	}
+}

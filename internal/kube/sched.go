@@ -515,6 +515,7 @@ func (s *gangScheduler) memberPodsLocked(gang string) []*Pod {
 			out = append(out, p)
 		}
 	}
+	sortPodsByName(out)
 	return out
 }
 

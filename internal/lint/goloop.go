@@ -1,0 +1,177 @@
+package lint
+
+// goloop: a goroutine launched inside a long-lived component must have
+// a visible lifecycle — a context, a stop/done/quit channel, or a
+// WaitGroup in scope — or it outlives its owner, keeps simulated
+// components running after teardown, and races shutdown (the PR 8
+// apply-drainer bug was exactly a naked per-event `go deliver(...)`).
+// The rule flags `go` statements whose launched function shows none of
+// those mechanisms; deliberately fire-and-forget launches carry a
+// suppression explaining who owns the goroutine's lifetime.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// goloopLifecycleName matches identifiers that conventionally carry a
+// stop signal even when their type is opaque here.
+var goloopLifecycleName = regexp.MustCompile(`(?i)(stop|done|quit|ctx|closed|shutdown|cancel|wg)`)
+
+// GoLoopAnalyzer flags goroutines without a visible stop mechanism.
+var GoLoopAnalyzer = &Analyzer{
+	Name: "goloop",
+	Doc:  "flag goroutine launches in long-lived components with no visible stop mechanism (context, stop/done channel, WaitGroup)",
+	Run:  runGoLoop,
+}
+
+func runGoLoop(p *Pass) {
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goHasLifecycle(p, g) {
+				return true
+			}
+			p.Reportf(g.Pos(), "goroutine has no visible stop mechanism (context, stop/done channel, or WaitGroup); bind its lifetime to its owner or suppress with the owner named")
+			return true
+		})
+	}
+}
+
+// goHasLifecycle looks for a stop mechanism in the launched function:
+// its arguments, its literal body, or (for same-package named
+// functions and methods) one level into the callee's body.
+func goHasLifecycle(p *Pass, g *ast.GoStmt) bool {
+	for _, arg := range g.Call.Args {
+		if exprHasLifecycle(p, arg) {
+			return true
+		}
+	}
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return nodeHasLifecycle(p, fun.Body)
+	default:
+		if body := calleeBody(p, g.Call.Fun); body != nil {
+			return nodeHasLifecycle(p, body)
+		}
+		// Callee body out of reach (other package, func value): the
+		// receiver expression itself may carry the signal name
+		// (c.stopper.Run); otherwise assume the callee manages itself.
+		return true
+	}
+}
+
+// calleeBody resolves a call target to its declaration body when the
+// target is a function or method declared in this unit's files.
+func calleeBody(p *Pass, fun ast.Expr) *ast.BlockStmt {
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = p.Pkg.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = p.Pkg.Info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn.Name() {
+				continue
+			}
+			if p.Pkg.Info.Defs[fd.Name] == obj {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// nodeHasLifecycle scans a body for stop-mechanism evidence.
+func nodeHasLifecycle(p *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if identHasLifecycle(p, e) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if exprHasLifecycle(p, e) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprHasLifecycle reports whether the expression is itself a
+// lifecycle carrier: a channel, a context.Context, a *sync.WaitGroup,
+// or something named like one.
+func exprHasLifecycle(p *Pass, e ast.Expr) bool {
+	if t := p.Pkg.Info.TypeOf(e); t != nil && typeIsLifecycle(t) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return goloopLifecycleName.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return goloopLifecycleName.MatchString(x.Sel.Name)
+	case *ast.UnaryExpr:
+		return exprHasLifecycle(p, x.X)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if exprHasLifecycle(p, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func identHasLifecycle(p *Pass, id *ast.Ident) bool {
+	if goloopLifecycleName.MatchString(id.Name) {
+		return true
+	}
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return typeIsLifecycle(obj.Type())
+	}
+	return false
+}
+
+func typeIsLifecycle(t types.Type) bool {
+	if _, ok := deref(t).Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := deref(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+				return true
+			case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+				return true
+			}
+		}
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		// context.Context reaches here when t is the interface itself.
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "Deadline" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,253 @@
+// Package lint is dlaas-vet's analysis engine: a stdlib-only analyzer
+// framework (go/parser + go/ast + go/types; dependency export data via
+// `go list -export`) with domain rules that machine-check the
+// platform's dependability invariants — virtual-clock purity, seeded
+// randomness, order-stable map iteration on replicated and fingerprint
+// paths, lock discipline, and goroutine lifecycle ownership.
+//
+// Everything `go test` can only sample, these analyzers enforce
+// exhaustively at compile time: a nondeterministic map iteration in an
+// apply path is a replica-divergence bug whether or not a test catches
+// it on today's seed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Rule    string         `json:"rule"`
+	Package string         `json:"package"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Message string         `json:"message"`
+	// Suppressed is set when a //lint:allow comment covers the finding;
+	// suppressed findings are reported in JSON inventories but do not
+	// fail the run.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message)
+}
+
+// Pass hands one analysis unit to an analyzer.
+type Pass struct {
+	Pkg    *Package
+	Policy *Policy
+	Rule   RuleConfig
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Rule:    "", // filled by the runner
+		Package: p.Pkg.ImportPath,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Files yields the unit's files the rule applies to, honoring the
+// per-rule skipTests policy.
+func (p *Pass) Files() []*ast.File {
+	if !p.Rule.SkipTests {
+		return p.Pkg.Files
+	}
+	var out []*ast.File
+	for _, f := range p.Pkg.Files {
+		if !p.Pkg.IsTest[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// An Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full rule set in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		SeededRandAnalyzer,
+		MapOrderAnalyzer,
+		LockDisciplineAnalyzer,
+		GoLoopAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the rule names in stable order.
+func AnalyzerNames() []string {
+	as := Analyzers()
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)(?:\s+(.*))?$`)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	rule   string
+	reason string
+	line   int
+	file   string
+	pos    token.Pos
+}
+
+// collectAllows parses every //lint:allow directive in the unit. A
+// directive suppresses findings of exactly its named rule on its own
+// line and on the line directly below it (so it can ride at end of
+// line or on a line of its own above the flagged statement).
+func collectAllows(pkg *Package) []allowDirective {
+	var out []allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, allowDirective{
+					rule:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					line:   pos.Line,
+					file:   pos.Filename,
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the selected analyzers (all of them if names is empty)
+// over the unit, applies suppressions, and returns findings sorted by
+// position. Malformed directives (missing reason, unknown rule name)
+// are themselves findings under the "lint" pseudo-rule: a suppression
+// without a reason is review debt the inventory must show.
+func Run(pkg *Package, policy *Policy, names ...string) []Finding {
+	selected := Analyzers()
+	if len(names) > 0 {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+		var out []*Analyzer
+		for _, a := range selected {
+			if want[a.Name] {
+				out = append(out, a)
+			}
+		}
+		selected = out
+	}
+
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, a := range selected {
+		rc := policy.Rule(a.Name)
+		if !rc.appliesTo(pkg.RelPath) {
+			continue
+		}
+		pass := &Pass{Pkg: pkg, Policy: policy, Rule: rc}
+		a.Run(pass)
+		for i := range pass.findings {
+			pass.findings[i].Rule = a.Name
+		}
+		findings = append(findings, pass.findings...)
+	}
+
+	allows := collectAllows(pkg)
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	allowAt := make(map[key]*allowDirective)
+	for i := range allows {
+		d := &allows[i]
+		if d.reason == "" {
+			findings = append(findings, Finding{
+				Rule:    "lint",
+				Package: pkg.ImportPath,
+				Pos:     pkg.Fset.Position(d.pos),
+				File:    d.file,
+				Line:    d.line,
+				Message: fmt.Sprintf("lint:allow %s has no reason; every suppression must say why", d.rule),
+			})
+			continue
+		}
+		if !known[d.rule] {
+			findings = append(findings, Finding{
+				Rule:    "lint",
+				Package: pkg.ImportPath,
+				Pos:     pkg.Fset.Position(d.pos),
+				File:    d.file,
+				Line:    d.line,
+				Message: fmt.Sprintf("lint:allow names unknown rule %q (known: %s)", d.rule, strings.Join(AnalyzerNames(), ", ")),
+			})
+			continue
+		}
+		allowAt[key{d.file, d.line, d.rule}] = d
+		allowAt[key{d.file, d.line + 1, d.rule}] = d
+	}
+	for i := range findings {
+		f := &findings[i]
+		if f.Rule == "lint" {
+			continue // suppression hygiene findings cannot be suppressed
+		}
+		if d, ok := allowAt[key{f.File, f.Line, f.Rule}]; ok {
+			f.Suppressed = true
+			f.Reason = d.reason
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// Active filters findings down to the ones that fail a run (not
+// suppressed).
+func Active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

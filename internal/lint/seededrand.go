@@ -1,0 +1,58 @@
+package lint
+
+// seededrand: chaos schedules, jitter, shard choices, and anything
+// that feeds a campaign fingerprint must draw randomness from an
+// explicitly seeded *rand.Rand so the same seed replays the same run.
+// The global math/rand functions share process-wide state that other
+// goroutines perturb (and auto-seed randomly since Go 1.20), so one
+// call through them breaks replay for the whole process.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededrandAllowed are the math/rand package-level functions that
+// construct seeded state rather than consuming the global source.
+var seededrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// SeededRandAnalyzer forbids the global math/rand source.
+var SeededRandAnalyzer = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand state; randomness must flow from an explicitly seeded *rand.Rand so seeded schedules replay exactly",
+	Run:  runSeededRand,
+}
+
+func runSeededRand(p *Pass) {
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgPathOf(p, file, sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if seededrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			// Only package-level funcs and vars consume global state;
+			// type names (rand.Rand, rand.Source) are fine. With type
+			// info absent, fall back to "uppercase func-looking name".
+			if obj, ok := p.Pkg.Info.Uses[sel.Sel]; ok {
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true
+				}
+			}
+			p.Reportf(sel.Pos(), "rand.%s uses the process-global math/rand source; draw from a seeded *rand.Rand so replays are deterministic", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,40 @@
+// Package allow exercises //lint:allow precision: a directive
+// suppresses exactly its named rule on its own line or the line below,
+// and malformed directives are themselves findings under the "lint"
+// pseudo-rule.
+package allow
+
+import "time"
+
+// suppressedAbove: the directive on the line above names the matching
+// rule, so the finding is recorded but suppressed.
+func suppressedAbove() time.Time {
+	//lint:allow wallclock fixture: documented real-time read
+	return time.Now()
+}
+
+// suppressedInline: the directive rides at the end of the flagged line.
+func suppressedInline() {
+	time.Sleep(time.Millisecond) //lint:allow wallclock fixture: documented real-time sleep
+}
+
+// wrongRule: the directive names a different rule, so the wallclock
+// finding on the next line stays active.
+func wrongRule() time.Time {
+	//lint:allow maporder fixture: deliberately names the wrong rule
+	return time.Now()
+}
+
+// noReason: a directive without a reason is itself a "lint" finding
+// and suppresses nothing.
+func noReason() {
+	//lint:allow wallclock
+	time.Sleep(time.Millisecond)
+}
+
+// unknownRule: a directive naming a rule that does not exist is itself
+// a "lint" finding and suppresses nothing.
+func unknownRule() {
+	//lint:allow nosuchrule fixture: rule name does not exist
+	_ = time.Now()
+}

@@ -1,0 +1,39 @@
+// Package goloop exercises the goloop analyzer: a goroutine with no
+// visible stop mechanism is a finding; context, stop/done channels,
+// and WaitGroups bind a lifetime and pass.
+package goloop
+
+import (
+	"context"
+	"sync"
+)
+
+func naked(work []int) {
+	go func() { // want "no visible stop mechanism"
+		for _, w := range work {
+			_ = w * w
+		}
+	}()
+}
+
+func withContextOK(ctx context.Context, out chan<- int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case out <- 1:
+		}
+	}()
+}
+
+func withDoneChannelOK(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func withWaitGroupOK(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,54 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer's copy
+// and pairing checks (ordering is exercised by the lockorder fixture,
+// which needs a policy-declared lock order).
+package lockdiscipline
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockNoUnlock(g *guarded) {
+	g.mu.Lock() // want "has no Unlock on any path"
+	g.n++
+}
+
+func pairedOK(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func closureReleaseOK(g *guarded) func() {
+	g.mu.Lock()
+	return func() { g.mu.Unlock() }
+}
+
+func copyParam(g guarded) int { // want "parameter passes .* by value and it contains a lock"
+	return g.n
+}
+
+func copyAssign(g *guarded) {
+	snapshot := *g // want "assignment copies .* by value"
+	inspect(&snapshot)
+}
+
+func inspect(*guarded) {}
+
+func copyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies g by value"
+		total += g.n
+	}
+	return total
+}
+
+func pointerOK(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package lockorder exercises lockdiscipline's policy-declared lock
+// ordering: the driver supplies a policy ordering
+// lockorder.engine.stateMu before lockorder.hub.fanMu.
+package lockorder
+
+import "sync"
+
+type engine struct {
+	stateMu sync.Mutex
+}
+
+type hub struct {
+	fanMu sync.Mutex
+}
+
+// inverted acquires the locks against the declared order.
+func inverted(e *engine, h *hub) {
+	h.fanMu.Lock()
+	defer h.fanMu.Unlock()
+	e.stateMu.Lock() // want "acquires lockorder.engine.stateMu while holding lockorder.hub.fanMu"
+	defer e.stateMu.Unlock()
+}
+
+// conforming acquires in the declared order: no finding.
+func conforming(e *engine, h *hub) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	h.fanMu.Lock()
+	defer h.fanMu.Unlock()
+}

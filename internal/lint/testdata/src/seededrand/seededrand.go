@@ -1,0 +1,21 @@
+// Package seededrand exercises the seededrand analyzer: drawing from
+// the process-global math/rand source is a finding; constructing and
+// using an explicitly seeded *rand.Rand is the sanctioned idiom.
+package seededrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want "process-global math/rand source"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "process-global math/rand source"
+}
+
+// seededOK builds a deterministic source: rand.New and rand.NewSource
+// are the allowed constructors, and methods on the instance are fine.
+func seededOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}

@@ -1,0 +1,24 @@
+// Package wallclock exercises the wallclock analyzer: reading or
+// scheduling real time is a finding; pure time.Duration/time.Time
+// arithmetic and type references are not.
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want "time.Now bypasses the virtual clock"
+	time.Sleep(time.Millisecond)    // want "time.Sleep bypasses the virtual clock"
+	<-time.After(time.Second)       // want "time.After bypasses the virtual clock"
+	t := time.NewTimer(time.Second) // want "time.NewTimer"
+	t.Stop()
+	var start time.Time
+	_ = time.Since(start) // want "time.Since reads the wall clock"
+	_ = time.Until(start) // want "time.Until reads the wall clock"
+}
+
+// pureDataOK shows what the rule must NOT flag: durations, instants,
+// and arithmetic on them never touch the wall clock.
+func pureDataOK(t time.Time) time.Duration {
+	deadline := t.Add(5 * time.Second)
+	return deadline.Sub(t)
+}

@@ -1,0 +1,60 @@
+package lint
+
+// wallclock: every component must take time from the injectable
+// virtual clock (internal/clock). A direct wall-clock read or timer is
+// invisible to the simulation scheduler: it desynchronizes replayed
+// chaos schedules, stretches the -short tier with real sleeps, and
+// makes trace fingerprints timing-dependent. The rule forbids the
+// time-package functions that observe or schedule real time; pure data
+// (time.Duration, time.Time arithmetic, constants) stays allowed.
+
+import (
+	"go/ast"
+)
+
+// wallclockBanned are the time-package functions that touch the real
+// clock. time.Since/Until read time.Now internally; time.Tick leaks a
+// ticker on top of being real-time.
+var wallclockBanned = map[string]string{
+	"Now":       "read the injected clock.Clock's Now instead",
+	"Sleep":     "use clock.Clock's Sleep so virtual time can advance",
+	"After":     "use clock.Clock's After so timers fire on the virtual clock",
+	"AfterFunc": "use clock.Clock's AfterFunc",
+	"Tick":      "use clock.Clock's NewTicker (time.Tick also leaks the ticker)",
+	"NewTimer":  "use clock.Clock's NewTimer",
+	"NewTicker": "use clock.Clock's NewTicker",
+	"Since":     "use clock.Clock's Since (time.Since reads the wall clock)",
+	"Until":     "compute against the injected clock's Now (time.Until reads the wall clock)",
+}
+
+// WallclockAnalyzer forbids time.Now/Sleep/After/... outside the
+// clock abstraction itself (policy-excluded).
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time functions outside internal/clock; all components take time from the injectable virtual clock",
+	Run:  runWallclock,
+}
+
+func runWallclock(p *Pass) {
+	for _, file := range p.Files() {
+		isTest := p.Pkg.IsTest[file]
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPathOf(p, file, sel.X) != "time" {
+				return true
+			}
+			remedy, banned := wallclockBanned[sel.Sel.Name]
+			if !banned {
+				return true
+			}
+			if isTest && p.Rule.testAllows(sel.Sel.Name) {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s bypasses the virtual clock; %s", sel.Sel.Name, remedy)
+			return true
+		})
+	}
+}

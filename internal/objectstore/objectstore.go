@@ -14,6 +14,7 @@ package objectstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/clock"
@@ -222,6 +223,7 @@ func (s *Store) List(bucketName string, creds Credentials) ([]string, error) {
 	for k := range b.objects {
 		keys = append(keys, k)
 	}
+	sort.Strings(keys)
 	return keys, nil
 }
 

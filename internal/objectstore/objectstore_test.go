@@ -3,6 +3,8 @@ package objectstore
 import (
 	"bytes"
 	"errors"
+	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -250,5 +252,31 @@ func TestObjectDataIsolated(t *testing.T) {
 	obj, _ := s.Get("b", "k", ownerCreds)
 	if string(obj.Data) != "original" {
 		t.Fatalf("stored data aliased caller slice: %q", obj.Data)
+	}
+}
+
+// TestListSorted: List must return keys in sorted order, not map
+// order — job manifests fingerprint dataset listings, and a
+// map-ordered listing would make two identical runs fingerprint
+// differently.
+func TestListSorted(t *testing.T) {
+	s, _ := newTestStore(t)
+	if err := s.CreateBucket("b", ownerCreds); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"z/9", "a/1", "m/5", "c/2", "x/8", "b/7", "q/3"}
+	for _, k := range keys {
+		if err := s.Put("b", k, []byte("x"), ownerCreds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.List("b", ownerCreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v, want sorted %v", got, want)
 	}
 }

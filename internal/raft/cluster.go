@@ -2,6 +2,7 @@ package raft
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -242,12 +243,17 @@ func (c *Cluster) WaitLeader(timeout time.Duration) *Node {
 // Stop shuts down every live node.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
-	var live []*Node
+	var ids []int
 	for id, n := range c.nodes {
 		if n != nil {
-			live = append(live, n)
-			c.nodes[id] = nil
+			ids = append(ids, id)
 		}
+	}
+	sort.Ints(ids)
+	live := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		live = append(live, c.nodes[id])
+		c.nodes[id] = nil
 	}
 	c.mu.Unlock()
 	for _, n := range live {

@@ -132,8 +132,9 @@ func TestFullJobOverREST(t *testing.T) {
 	}
 
 	// Poll status to completion (virtual clock advances on its own).
-	deadline := time.Now().Add(2 * time.Minute) // real time bound
+	deadline := time.Now().Add(2 * time.Minute) //lint:allow wallclock real-time bound; the virtual clock advances in the background
 	var rec dlaas.JobRecord
+	//lint:allow wallclock real-time bound; the virtual clock advances in the background
 	for time.Now().Before(deadline) {
 		resp, raw = f.do(t, "GET", "/v1/models/"+sub.JobID, "alice", nil)
 		if resp.StatusCode != http.StatusOK {
@@ -145,7 +146,7 @@ func TestFullJobOverREST(t *testing.T) {
 		if rec.State.Terminal() {
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //lint:allow wallclock real-time poll pacing while virtual clock runs in background
 	}
 	if rec.State != dlaas.StateCompleted {
 		t.Fatalf("final state = %s (%s)", rec.State, rec.Reason)
@@ -239,14 +240,15 @@ func TestHaltOverREST(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wait until it trains, then halt.
-	deadline := time.Now().Add(time.Minute)
+	deadline := time.Now().Add(time.Minute) //lint:allow wallclock real-time bound; the virtual clock advances in the background
+	//lint:allow wallclock real-time bound; the virtual clock advances in the background
 	for time.Now().Before(deadline) {
 		_, raw = f.do(t, "GET", "/v1/models/"+sub.JobID, "haltr", nil)
 		var rec dlaas.JobRecord
 		if err := json.Unmarshal(raw, &rec); err == nil && rec.State == dlaas.StateProcessing {
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //lint:allow wallclock real-time poll pacing while virtual clock runs in background
 	}
 	resp, raw = f.do(t, "DELETE", "/v1/models/"+sub.JobID, "haltr", nil)
 	if resp.StatusCode != http.StatusOK {

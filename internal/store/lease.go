@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,8 +136,15 @@ func (l *Lease) expire(force bool) {
 	}
 	l.expired = true
 	l.timer.Stop()
-	ops := make([]Op, 0, len(l.keys))
+	keys := make([]string, 0, len(l.keys))
 	for k := range l.keys {
+		keys = append(keys, k)
+	}
+	// Deterministic op order: events within the expiry revision reach
+	// watchers in ops order, which must not depend on map iteration.
+	sort.Strings(keys)
+	ops := make([]Op, 0, len(keys))
+	for _, k := range keys {
 		ops = append(ops, Op{Kind: OpDelete, Key: k})
 	}
 	cbs := l.onExpire

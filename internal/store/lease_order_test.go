@@ -1,0 +1,64 @@
+package store
+
+// Regression: lease expiry commits all attached deletes in one
+// revision, and watchers receive the events of that revision in ops
+// order — which must be sorted key order, not map order, or two
+// replays of one seed diverge in watch-event fan-out.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestLeaseExpiryEventOrder(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	e := NewEngine(Config{})
+	defer e.Close()
+
+	l, err := e.GrantLease(clk, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"p/h", "p/c", "p/f", "p/a", "p/e", "p/b", "p/g", "p/d"}
+	for _, k := range keys {
+		if _, err := l.Put(k, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch, cancel, err := e.Watch("p/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	l.Revoke()
+
+	got := make([]string, 0, len(keys))
+	var rev uint64
+	for range keys {
+		select {
+		case ev := <-ch:
+			if ev.Type != EventDelete {
+				t.Fatalf("event = %+v, want delete", ev)
+			}
+			if rev == 0 {
+				rev = ev.Rev
+			} else if ev.Rev != rev {
+				t.Fatalf("expiry spread across revisions %d and %d, want one atomic commit", rev, ev.Rev)
+			}
+			got = append(got, ev.Key)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("timed out after %d/%d delete events", len(got), len(keys))
+		}
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("expiry event order = %v, want sorted %v", got, want)
+	}
+}

@@ -158,12 +158,13 @@ func TestLeaseKeepAliveBeatsInFlightExpiry(t *testing.T) {
 // callbacks run on the clock goroutine).
 func waitWatchers(t *testing.T, e *Engine, want int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second) //lint:allow wallclock real-time convergence poll for clock-goroutine callbacks
+	//lint:allow wallclock real-time convergence poll for clock-goroutine callbacks
 	for time.Now().Before(deadline) {
 		if e.WatcherCount() == want {
 			return
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow wallclock real-time convergence poll for clock-goroutine callbacks
 	}
 	t.Fatalf("watchers = %d, want %d", e.WatcherCount(), want)
 }

@@ -578,7 +578,7 @@ func (e *Engine) Commit(ops []Op) (uint64, error) {
 		}
 	}
 	for _, sh := range locked {
-		sh.mu.Lock()
+		sh.mu.Lock() //lint:allow lockdiscipline every locked shard is released below in reverse index order via locked[i].mu.Unlock()
 	}
 	rev := e.gate.begin()
 	for _, op := range ops {
@@ -942,7 +942,17 @@ func (e *Engine) drainOnce() {
 			sh.log = keep
 			sh.mu.Unlock()
 		}
-		sort.Slice(batch, func(i, j int) bool { return batch[i].Rev < batch[j].Rev })
+		// Canonical (revision, key) order: events of one multi-key
+		// commit (a lease expiry, a txn) reach watchers in the same
+		// sequence on every run and every shard layout — sort.Slice is
+		// unstable, so ordering by Rev alone would let same-revision
+		// events land in shard-traversal order.
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].Rev != batch[j].Rev {
+				return batch[i].Rev < batch[j].Rev
+			}
+			return batch[i].Key < batch[j].Key
+		})
 		return floor, batch
 	})
 }
